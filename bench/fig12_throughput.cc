@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 12: transaction throughput normalized to Base, for 1/2/4/8
+ * cores across the seven benchmarks (§VI-C).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "matrix_common.hh"
+
+namespace
+{
+
+using namespace silo;
+using namespace silo::bench;
+
+MatrixResults results;
+std::vector<unsigned> coreCounts;
+
+void
+runCores(benchmark::State &state, unsigned cores)
+{
+    for (auto _ : state) {
+        auto partial = runMatrix({cores});
+        for (auto &[key, value] : partial)
+            results[key] = value;
+    }
+    state.counters["cells"] = double(results.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using harness::envOr;
+    unsigned max_cores = unsigned(envOr("SILO_MAX_CORES", 8));
+    for (unsigned c = 1; c <= max_cores; c *= 2)
+        coreCounts.push_back(c);
+
+    for (unsigned cores : coreCounts) {
+        benchmark::RegisterBenchmark(
+            ("Fig12/cores:" + std::to_string(cores)).c_str(),
+            [cores](benchmark::State &s) { runCores(s, cores); })
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    SimConfig defaults;
+    harness::printConfigBanner(defaults, std::cout);
+    for (unsigned cores : coreCounts) {
+        auto m = matrixFor(results, cores,
+                           [](const harness::SimReport &r) {
+                               return r.txPerMillionCycles;
+                           });
+        m.toTable("Fig. 12(" + std::to_string(cores) +
+                      " cores) — transaction throughput, "
+                      "normalized to Base",
+                  0).print(std::cout);
+    }
+    std::cout << "# Paper (8 cores): Silo = 1.5x LAD, 4.3x MorLog, "
+                 "6.4x FWB; Base is lowest.\n";
+    return 0;
+}

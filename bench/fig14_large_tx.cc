@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fig. 14: processing large transactions under Silo (§VI-F). The
+ * write set of each transaction is scaled to 1-16x; throughput (a)
+ * and PM write traffic (b) are normalized to the 1x configuration.
+ * Large write sets overflow the 20-entry log buffer and exercise the
+ * batched undo-log eviction path (§III-F).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "harness/experiment.hh"
+
+namespace
+{
+
+using namespace silo;
+
+constexpr unsigned scales[] = {1, 2, 4, 8, 16};
+
+std::map<std::pair<std::string, unsigned>, harness::SimReport> results;
+
+void
+runScale(benchmark::State &state, workload::WorkloadKind kind,
+         unsigned scale)
+{
+    workload::TraceGenConfig tg;
+    tg.kind = kind;
+    tg.numThreads = unsigned(harness::envOr("SILO_CORES", 8));
+    tg.transactionsPerThread =
+        std::max<std::uint64_t>(
+            harness::envOr("SILO_TX", 400) / scale, 25);
+    tg.opsPerTransaction = scale;
+
+    for (auto _ : state) {
+        auto traces = workload::generateTraces(tg);
+        SimConfig cfg;
+        cfg.numCores = tg.numThreads;
+        cfg.scheme = SchemeKind::Silo;
+        auto report = harness::runCell(cfg, traces);
+        results[{workload::workloadName(kind), scale}] = report;
+        state.counters["tx_per_Mcy"] = report.txPerMillionCycles;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (auto kind : silo::workload::evaluationWorkloads) {
+        for (unsigned scale : scales) {
+            benchmark::RegisterBenchmark(
+                (std::string("Fig14/") + workload::workloadName(kind) +
+                    "/x" + std::to_string(scale)).c_str(),
+                [kind, scale](benchmark::State &s) {
+                    runScale(s, kind, scale);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kSecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    // Both panels normalize per unit of work: a 16x transaction packs
+    // 16x the logical operations, so throughput counts operations and
+    // write traffic is per operation.
+    auto print = [&](const char *title, auto metric, int digits) {
+        TablePrinter table(title);
+        std::vector<std::string> header = {"Workload"};
+        for (unsigned scale : scales)
+            header.push_back(std::to_string(scale) + "x");
+        table.header(std::move(header));
+        for (auto kind : silo::workload::evaluationWorkloads) {
+            std::vector<std::string> cells = {
+                workload::workloadName(kind)};
+            double base = metric(
+                results[{workload::workloadName(kind), 1}], 1);
+            for (unsigned scale : scales) {
+                double v = metric(
+                    results[{workload::workloadName(kind), scale}],
+                    scale);
+                cells.push_back(
+                    TablePrinter::num(base > 0 ? v / base : 0,
+                                      digits));
+            }
+            table.row(std::move(cells));
+        }
+        table.print(std::cout);
+    };
+
+    print("Fig. 14a — operation throughput vs write-set scale, "
+          "normalized to 1x (Silo)",
+          [](const harness::SimReport &r, unsigned scale) {
+              return r.txPerMillionCycles * double(scale);
+          }, 3);
+    // Traffic uses media *line* write-backs: the quantity the batched
+    // undo-log eviction (N = S/18 entries per 256 B line, §III-F) is
+    // designed to keep low.
+    print("Fig. 14b — PM media line writes per operation vs write-set "
+          "scale, normalized to 1x (Silo)",
+          [](const harness::SimReport &r, unsigned scale) {
+              return double(r.mediaLineWrites) /
+                     double(std::max<std::uint64_t>(
+                         r.committedTransactions * scale, 1));
+          }, 2);
+    std::cout << "# Paper: throughput drops only ~7.4% on average at "
+                 "16x; per-tx write traffic grows by up to ~1.9x "
+                 "(batched overflow keeps amplification low).\n";
+    return 0;
+}

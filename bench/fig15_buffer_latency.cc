@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fig. 15: transaction throughput sensitivity to the access latency
+ * of Silo's log buffer, swept from 8 to 128 cycles (§VI-G). Reading
+ * and writing the buffer is off the critical path, so throughput
+ * should stay nearly flat.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "harness/experiment.hh"
+
+namespace
+{
+
+using namespace silo;
+
+constexpr Cycles latencies[] = {8, 16, 32, 64, 96, 128};
+
+std::map<std::pair<std::string, Cycles>, double> throughput;
+
+void
+runPoint(benchmark::State &state, workload::WorkloadKind kind,
+         Cycles latency, harness::TraceCache &cache)
+{
+    workload::TraceGenConfig tg;
+    tg.kind = kind;
+    tg.numThreads = unsigned(harness::envOr("SILO_CORES", 8));
+    tg.transactionsPerThread = harness::envOr("SILO_TX", 400);
+
+    for (auto _ : state) {
+        const auto &traces = cache.get(tg);
+        SimConfig cfg;
+        cfg.numCores = tg.numThreads;
+        cfg.scheme = SchemeKind::Silo;
+        cfg.logBufferLatency = latency;
+        auto report = harness::runCell(cfg, traces);
+        throughput[{workload::workloadName(kind), latency}] =
+            report.txPerMillionCycles;
+        state.counters["tx_per_Mcy"] = report.txPerMillionCycles;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    static silo::harness::TraceCache cache;
+    for (auto kind : silo::workload::evaluationWorkloads) {
+        for (Cycles latency : latencies) {
+            benchmark::RegisterBenchmark(
+                (std::string("Fig15/") + workload::workloadName(kind) +
+                    "/lat:" + std::to_string(latency)).c_str(),
+                [kind, latency](benchmark::State &s) {
+                    runPoint(s, kind, latency, cache);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kSecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    TablePrinter table(
+        "Fig. 15 — throughput vs log buffer latency, normalized to "
+        "the 8-cycle buffer (Silo)");
+    std::vector<std::string> header = {"Workload"};
+    for (Cycles latency : latencies)
+        header.push_back(std::to_string(latency) + "cy");
+    table.header(std::move(header));
+
+    double worst = 1.0;
+    for (auto kind : silo::workload::evaluationWorkloads) {
+        std::vector<std::string> cells = {
+            workload::workloadName(kind)};
+        double base = throughput[{workload::workloadName(kind), 8}];
+        for (Cycles latency : latencies) {
+            double norm =
+                base > 0
+                    ? throughput[{workload::workloadName(kind),
+                                  latency}] / base
+                    : 0;
+            worst = std::min(worst, norm);
+            cells.push_back(TablePrinter::num(norm, 3));
+        }
+        table.row(std::move(cells));
+    }
+    table.print(std::cout);
+    std::cout << "# worst-case normalized throughput: "
+              << TablePrinter::num(worst, 3)
+              << " (paper: a 128-cycle buffer costs only ~3.3% on "
+                 "average)\n";
+    return 0;
+}

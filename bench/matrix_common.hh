@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared sweep driver for Figs. 11 and 12: run every evaluated design
+ * (Base, FWB, MorLog, LAD, Silo) over the seven benchmarks on 1/2/4/8
+ * cores and collect the SimReports.
+ */
+
+#ifndef SILO_BENCH_MATRIX_COMMON_HH
+#define SILO_BENCH_MATRIX_COMMON_HH
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace silo::bench
+{
+
+inline constexpr SchemeKind evaluatedSchemes[] = {
+    SchemeKind::Base, SchemeKind::Fwb, SchemeKind::MorLog,
+    SchemeKind::Lad, SchemeKind::Silo,
+};
+
+/** Results keyed by (cores, scheme, workload). */
+using MatrixResults =
+    std::map<std::tuple<unsigned, SchemeKind, workload::WorkloadKind>,
+             harness::SimReport>;
+
+/** Run the full Figs. 11/12 matrix. */
+inline MatrixResults
+runMatrix(const std::vector<unsigned> &core_counts)
+{
+    harness::TraceCache cache;
+    MatrixResults results;
+    std::uint64_t tx = harness::envOr("SILO_TX", 500);
+    std::uint64_t seed = harness::envOr("SILO_SEED", 42);
+
+    for (unsigned cores : core_counts) {
+        for (auto wl : workload::evaluationWorkloads) {
+            workload::TraceGenConfig tg;
+            tg.kind = wl;
+            tg.numThreads = cores;
+            tg.transactionsPerThread = tx;
+            tg.seed = seed;
+            const auto &traces = cache.get(tg);
+            for (auto scheme : evaluatedSchemes) {
+                SimConfig cfg;
+                cfg.numCores = cores;
+                cfg.scheme = scheme;
+                results[{cores, scheme, wl}] =
+                    harness::runCell(cfg, traces);
+            }
+        }
+    }
+    return results;
+}
+
+/** Build a NormalizedMatrix for one core count from a field getter. */
+template <typename Getter>
+harness::NormalizedMatrix
+matrixFor(const MatrixResults &results, unsigned cores, Getter get)
+{
+    harness::NormalizedMatrix m;
+    for (auto wl : workload::evaluationWorkloads)
+        m.colNames.push_back(workload::workloadName(wl));
+    for (auto scheme : evaluatedSchemes) {
+        m.rowNames.push_back(schemeName(scheme));
+        std::vector<double> row;
+        for (auto wl : workload::evaluationWorkloads)
+            row.push_back(get(results.at({cores, scheme, wl})));
+        m.raw.push_back(std::move(row));
+    }
+    return m;
+}
+
+} // namespace silo::bench
+
+#endif // SILO_BENCH_MATRIX_COMMON_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table I: the hardware overhead of Silo — per-core log buffer,
+ * comparators, battery, and head/tail registers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "energy/battery_model.hh"
+#include "sim/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace silo;
+
+    benchmark::RegisterBenchmark(
+        "Table1/hw_overhead", [](benchmark::State &state) {
+            SimConfig cfg;
+            for (auto _ : state) {
+                auto hw = energy::siloHardwareOverhead(cfg);
+                benchmark::DoNotOptimize(hw);
+                state.counters["buffer_B_per_core"] =
+                    hw.logBufferBytesPerCore;
+            }
+        })->Iterations(1);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    SimConfig cfg;
+    auto hw = energy::siloHardwareOverhead(cfg);
+
+    TablePrinter table("Table I — The hardware overhead of Silo");
+    table.header({"Components", "Types", "Sizes"});
+    {
+        std::ostringstream size;
+        size << hw.logBufferEntriesPerCore << " entries, "
+             << hw.logBufferBytesPerCore << "B per core";
+        table.row({"Log buffer", "SRAM", size.str()});
+    }
+    {
+        std::ostringstream size;
+        size << hw.comparatorsPerLogBuffer
+             << " comparators per log buffer";
+        table.row({"64-bit comparators", "CMOS cells", size.str()});
+    }
+    {
+        std::ostringstream size;
+        size << TablePrinter::num(hw.liBatteryMm3PerLogBuffer / 1e-4,
+                                  3)
+             << "e-4 mm^3 per log buffer";
+        table.row({"Battery", "Lithium thin-film", size.str()});
+    }
+    {
+        std::ostringstream size;
+        size << hw.headTailRegisterBytesPerCore << "B per core";
+        table.row({"Log head and tail", "Flip-flops", size.str()});
+    }
+    table.print(std::cout);
+    std::cout << "# Paper Table I: 20 entries / 680B per core, 20 "
+                 "comparators, 2.125e-4 mm^3 battery, 16B registers.\n";
+    return 0;
+}

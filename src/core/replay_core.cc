@@ -1,0 +1,111 @@
+#include "core/replay_core.hh"
+
+#include "sim/logging.hh"
+
+namespace silo::core
+{
+
+using workload::TxOp;
+
+ReplayCore::ReplayCore(unsigned id, EventQueue &eq, const SimConfig &cfg,
+                       mem::CacheHierarchy &hierarchy,
+                       log::LoggingScheme &scheme, WordStore &values,
+                       const workload::ThreadTrace &trace,
+                       std::function<void()> on_finished)
+    : _id(id), _eq(eq), _cfg(cfg), _hierarchy(hierarchy),
+      _scheme(scheme), _values(values), _trace(trace),
+      _onFinished(std::move(on_finished))
+{
+}
+
+void
+ReplayCore::start()
+{
+    _eq.scheduleAfter(0, [this] { step(); }, EventQueue::prioCore);
+}
+
+void
+ReplayCore::advanceAfter(Cycles delay)
+{
+    _eq.scheduleAfter(delay + _cfg.opOverheadCycles, [this] { step(); },
+                      EventQueue::prioCore);
+}
+
+void
+ReplayCore::step()
+{
+    if (_cursor >= _trace.ops.size()) {
+        _finished = true;
+        if (_onFinished)
+            _onFinished();
+        return;
+    }
+
+    const TxOp &op = _trace.ops[_cursor++];
+    switch (op.kind) {
+      case TxOp::Kind::TxBegin:
+        if (_inTx)
+            panic("trace opened a nested transaction");
+        _inTx = true;
+        ++_txid;
+        _scheme.txBegin(_id, _txid);
+        advanceAfter(0);
+        break;
+
+      case TxOp::Kind::Load:
+        doLoad(op);
+        break;
+
+      case TxOp::Kind::Store:
+        doStore(op);
+        break;
+
+      case TxOp::Kind::TxEnd:
+        if (!_inTx)
+            panic("trace closed a transaction that was not open");
+        doTxEnd();
+        break;
+    }
+}
+
+void
+ReplayCore::doLoad(const TxOp &op)
+{
+    _hierarchy.access(_id, op.addr, false, [this] { advanceAfter(0); });
+}
+
+void
+ReplayCore::doStore(const TxOp &op)
+{
+    Addr addr = op.addr;
+    Word new_val = op.value;
+    _hierarchy.access(_id, addr, true, [this, addr, new_val] {
+        // The store retires in L1D: the log generator captures the old
+        // data during tag match and the new data from the in-flight
+        // write (§III-B).
+        Word old_val = _values.load(addr);
+        _values.store(addr, new_val);
+        Tick hook_start = _eq.now();
+        _scheme.store(_id, addr, old_val, new_val,
+                      [this, hook_start] {
+            _storeStalls += _eq.now() - hook_start;
+            advanceAfter(0);
+        });
+    });
+}
+
+void
+ReplayCore::doTxEnd()
+{
+    _commitRequestedOpIndex = _cursor;
+    Tick commit_start = _eq.now();
+    _scheme.txEnd(_id, [this, commit_start] {
+        _commitStalls += _eq.now() - commit_start;
+        _inTx = false;
+        ++_committedTx;
+        _committedOpIndex = _commitRequestedOpIndex;
+        advanceAfter(0);
+    });
+}
+
+} // namespace silo::core

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The replay core: an in-order core executing one thread's transaction
+ * trace against the timing memory system.
+ *
+ * Loads and stores block (one outstanding access per core); every
+ * operation pays a fixed issue overhead. The core keeps the system's
+ * architectural value store up to date — because threads never share
+ * lines, the store order per word equals trace order, so old-value
+ * capture for the log generator is exact.
+ */
+
+#ifndef SILO_CORE_REPLAY_CORE_HH
+#define SILO_CORE_REPLAY_CORE_HH
+
+#include <functional>
+
+#include "log/logging_scheme.hh"
+#include "mem/hierarchy.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/word_store.hh"
+#include "workload/trace.hh"
+
+namespace silo::core
+{
+
+/** One simulated core replaying one thread trace. */
+class ReplayCore
+{
+  public:
+    ReplayCore(unsigned id, EventQueue &eq, const SimConfig &cfg,
+               mem::CacheHierarchy &hierarchy,
+               log::LoggingScheme &scheme, WordStore &values,
+               const workload::ThreadTrace &trace,
+               std::function<void()> on_finished);
+
+    /** Begin executing the trace. */
+    void start();
+
+    bool finished() const { return _finished; }
+    std::uint64_t committedTx() const { return _committedTx; }
+
+    /** @return true if a transaction is open (crash bookkeeping). */
+    bool inTransaction() const { return _inTx; }
+    std::uint16_t currentTxid() const { return _txid; }
+
+    /**
+     * Trace index one past the Tx_end of the last *durably committed*
+     * transaction — the crash oracle replays stores up to here.
+     */
+    std::size_t committedOpIndex() const { return _committedOpIndex; }
+
+    /**
+     * Trace index one past the Tx_end whose commit was requested (the
+     * commit may be in flight at a crash).
+     */
+    std::size_t commitRequestedOpIndex() const
+    {
+        return _commitRequestedOpIndex;
+    }
+
+    std::uint64_t commitStallCycles() const
+    {
+        return _commitStalls.value();
+    }
+    std::uint64_t storeStallCycles() const
+    {
+        return _storeStalls.value();
+    }
+
+  private:
+    void step();
+    void doLoad(const workload::TxOp &op);
+    void doStore(const workload::TxOp &op);
+    void doTxEnd();
+    void advanceAfter(Cycles delay);
+
+    unsigned _id;
+    EventQueue &_eq;
+    const SimConfig &_cfg;
+    mem::CacheHierarchy &_hierarchy;
+    log::LoggingScheme &_scheme;
+    WordStore &_values;
+    const workload::ThreadTrace &_trace;
+    std::function<void()> _onFinished;
+
+    std::size_t _cursor = 0;
+    std::uint16_t _txid = 0;
+    bool _inTx = false;
+    bool _finished = false;
+    std::uint64_t _committedTx = 0;
+    std::size_t _committedOpIndex = 0;
+    std::size_t _commitRequestedOpIndex = 0;
+
+    stats::Scalar _commitStalls{"commit_stalls", "cycles at Tx_end"};
+    stats::Scalar _storeStalls{"store_stalls", "cycles in store hooks"};
+};
+
+} // namespace silo::core
+
+#endif // SILO_CORE_REPLAY_CORE_HH

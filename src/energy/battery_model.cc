@@ -1,0 +1,65 @@
+#include "energy/battery_model.hh"
+
+#include <cmath>
+
+namespace silo::energy
+{
+
+BatteryRequirement
+batteryForFlush(double flush_bytes)
+{
+    BatteryRequirement out;
+    out.flushSizeKB = flush_bytes / 1024.0;
+    double energy_j = flush_bytes * nanojoulesPerByte * 1e-9;
+    out.flushEnergyUj = energy_j * 1e6;
+
+    // volume [cm^3] = energy [J] / (density [Wh/cm^3] * 3600 [J/Wh])
+    double cap_cm3 = energy_j / (capWhPerCm3 * 3600.0);
+    double li_cm3 = energy_j / (liWhPerCm3 * 3600.0);
+    out.capVolumeMm3 = cap_cm3 * 1000.0;
+    out.liVolumeMm3 = li_cm3 * 1000.0;
+    // Cubic cell: area = volume^(2/3).
+    out.capAreaMm2 = std::pow(out.capVolumeMm3, 2.0 / 3.0);
+    out.liAreaMm2 = std::pow(out.liVolumeMm3, 2.0 / 3.0);
+    return out;
+}
+
+BatteryRequirement
+siloBattery(const SimConfig &cfg)
+{
+    return batteryForFlush(double(cfg.numCores) *
+                           siloLogBufferBytes(cfg));
+}
+
+BatteryRequirement
+bbbBattery(const SimConfig &cfg)
+{
+    // BBB: 32 battery-backed 64 B entries per core (§VI-E).
+    return batteryForFlush(double(cfg.numCores) * 32 * 64);
+}
+
+BatteryRequirement
+eadrBattery(const SimConfig &cfg, double dirty_fraction)
+{
+    // Table II caches: per-core L1D + per-core L2 + shared L3
+    // (8 x 32 KB + 8 x 256 KB + 8 MB = 10,496 KB at 8 cores).
+    double cache_bytes = double(cfg.numCores) *
+                             (cfg.l1d.sizeBytes + cfg.l2.sizeBytes) +
+                         double(cfg.l3.sizeBytes);
+    return batteryForFlush(cache_bytes * dirty_fraction);
+}
+
+HardwareOverhead
+siloHardwareOverhead(const SimConfig &cfg)
+{
+    HardwareOverhead out;
+    out.logBufferEntriesPerCore = cfg.logBufferEntries;
+    out.logBufferBytesPerCore = siloLogBufferBytes(cfg);
+    out.comparatorsPerLogBuffer = cfg.logBufferEntries;
+    out.liBatteryMm3PerLogBuffer =
+        batteryForFlush(siloLogBufferBytes(cfg)).liVolumeMm3;
+    out.headTailRegisterBytesPerCore = 2 * wordBytes;   // head + tail
+    return out;
+}
+
+} // namespace silo::energy

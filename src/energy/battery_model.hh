@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Battery and energy requirements (§VI-E, Table IV) and Silo's
+ * hardware overhead (Table I).
+ *
+ * The paper's model: moving one byte from an on-chip buffer to PM
+ * costs 11.228 nJ; supercapacitors (Cap) store 1e-4 Wh/cm^3 and
+ * lithium thin-film batteries (Li) 1e-2 Wh/cm^3. Battery area assumes
+ * a cubic cell (area = volume^(2/3)). This module reproduces Table IV
+ * for eADR, BBB, and Silo, and Table I's per-core overhead.
+ */
+
+#ifndef SILO_ENERGY_BATTERY_MODEL_HH
+#define SILO_ENERGY_BATTERY_MODEL_HH
+
+#include "sim/config.hh"
+
+namespace silo::energy
+{
+
+/** Energy cost of moving one byte from an on-chip buffer to PM. */
+constexpr double nanojoulesPerByte = 11.228;
+
+/** Energy density of supercapacitors, Wh per cm^3. */
+constexpr double capWhPerCm3 = 1e-4;
+
+/** Energy density of lithium thin-film batteries, Wh per cm^3. */
+constexpr double liWhPerCm3 = 1e-2;
+
+/** One row of Table IV. */
+struct BatteryRequirement
+{
+    double flushSizeKB = 0;    //!< bytes to flush on a crash, in KB
+    double flushEnergyUj = 0;  //!< micro-joules to flush them
+    double capVolumeMm3 = 0;   //!< supercapacitor volume
+    double capAreaMm2 = 0;     //!< supercapacitor area (cubic cell)
+    double liVolumeMm3 = 0;    //!< lithium thin-film volume
+    double liAreaMm2 = 0;      //!< lithium thin-film area
+};
+
+/** Requirement to flush @p flush_bytes on a power failure. */
+BatteryRequirement batteryForFlush(double flush_bytes);
+
+/** Bytes of one Silo log-buffer entry incl. its log-region address. */
+constexpr unsigned
+siloEntryFootprintBytes()
+{
+    return undoRedoLogEntryBytes + wordBytes;   // 26 + 8 = 34
+}
+
+/** Per-core Silo log buffer size in bytes (Table I: 680 B). */
+constexpr unsigned
+siloLogBufferBytes(const SimConfig &cfg)
+{
+    return cfg.logBufferEntries * siloEntryFootprintBytes();
+}
+
+/** Silo: flush all per-core log buffers (Table IV row 3). */
+BatteryRequirement siloBattery(const SimConfig &cfg);
+
+/** BBB: flush each core's 32-entry, 64 B-block battery-backed buffer. */
+BatteryRequirement bbbBattery(const SimConfig &cfg);
+
+/**
+ * eADR: flush the dirty fraction of the entire cache hierarchy
+ * (paper: 45% of L1D + L2 + L3 = 45% of 10,496 KB in Table II).
+ */
+BatteryRequirement eadrBattery(const SimConfig &cfg,
+                               double dirty_fraction = 0.45);
+
+/** One row of Table I. */
+struct HardwareOverhead
+{
+    unsigned logBufferEntriesPerCore;
+    unsigned logBufferBytesPerCore;
+    unsigned comparatorsPerLogBuffer;
+    double liBatteryMm3PerLogBuffer;
+    unsigned headTailRegisterBytesPerCore;
+};
+
+/** Silo's hardware overhead (Table I). */
+HardwareOverhead siloHardwareOverhead(const SimConfig &cfg);
+
+} // namespace silo::energy
+
+#endif // SILO_ENERGY_BATTERY_MODEL_HH

@@ -1,0 +1,89 @@
+#include "harness/experiment.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace silo::harness
+{
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+const workload::WorkloadTraces &
+TraceCache::get(const workload::TraceGenConfig &cfg)
+{
+    std::ostringstream key;
+    key << workload::workloadName(cfg.kind) << '/' << cfg.numThreads
+        << '/' << cfg.transactionsPerThread << '/'
+        << cfg.opsPerTransaction << '/' << cfg.seed << '/'
+        << cfg.options.tpccAllTxTypes;
+    auto it = _cache.find(key.str());
+    if (it == _cache.end())
+        it = _cache.emplace(key.str(),
+                            workload::generateTraces(cfg)).first;
+    return it->second;
+}
+
+SimReport
+runCell(const SimConfig &cfg, const workload::WorkloadTraces &traces)
+{
+    System sys(cfg, traces);
+    sys.run();
+    sys.settle();
+    sys.drainToMedia();
+    return sys.report();
+}
+
+TablePrinter
+NormalizedMatrix::toTable(const std::string &title,
+                          std::size_t base_row, int digits) const
+{
+    TablePrinter table(title);
+    std::vector<std::string> header = {"Design"};
+    header.insert(header.end(), colNames.begin(), colNames.end());
+    header.push_back("Average");
+    table.header(std::move(header));
+
+    for (std::size_t r = 0; r < rowNames.size(); ++r) {
+        std::vector<std::string> cells = {rowNames[r]};
+        double log_sum = 0;
+        unsigned n = 0;
+        for (std::size_t c = 0; c < colNames.size(); ++c) {
+            double base = raw[base_row][c];
+            double norm = base > 0 ? raw[r][c] / base : 0;
+            cells.push_back(TablePrinter::num(norm, digits));
+            if (norm > 0) {
+                log_sum += std::log(norm);
+                ++n;
+            }
+        }
+        double gmean = n ? std::exp(log_sum / n) : 0;
+        cells.push_back(TablePrinter::num(gmean, digits));
+        table.row(std::move(cells));
+    }
+    return table;
+}
+
+void
+printConfigBanner(const SimConfig &cfg, std::ostream &os)
+{
+    os << "# Simulated system (Table II): " << cfg.numCores
+       << " cores @ " << cfg.coreGhz << " GHz, L1D "
+       << cfg.l1d.sizeBytes / 1024 << "KB/" << cfg.l1d.latency
+       << "cy, L2 " << cfg.l2.sizeBytes / 1024 << "KB/"
+       << cfg.l2.latency << "cy, L3 "
+       << cfg.l3.sizeBytes / (1024 * 1024) << "MB/" << cfg.l3.latency
+       << "cy, WPQ " << cfg.wpqEntries << " (ADR), PM read/write "
+       << cfg.pmReadCycles << "/" << cfg.pmWriteCycles
+       << "cy, log buffer " << cfg.logBufferEntries << " entries @ "
+       << cfg.logBufferLatency << "cy\n";
+}
+
+} // namespace silo::harness

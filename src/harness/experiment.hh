@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment helpers shared by the bench binaries: run one (scheme,
+ * workload, cores) cell, cache generated traces across schemes, and
+ * print paper-style normalized tables.
+ */
+
+#ifndef SILO_HARNESS_EXPERIMENT_HH
+#define SILO_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/system.hh"
+#include "sim/table.hh"
+#include "workload/trace_gen.hh"
+
+namespace silo::harness
+{
+
+/** Read an unsigned configuration knob from the environment. */
+std::uint64_t envOr(const char *name, std::uint64_t fallback);
+
+/** Trace cache keyed on generation parameters (shared by schemes). */
+class TraceCache
+{
+  public:
+    const workload::WorkloadTraces &
+    get(const workload::TraceGenConfig &cfg);
+
+  private:
+    std::map<std::string, workload::WorkloadTraces> _cache;
+};
+
+/** Run one simulation to completion, including the final drain. */
+SimReport runCell(const SimConfig &cfg,
+                  const workload::WorkloadTraces &traces);
+
+/**
+ * Fig. 11/12-style matrix: rows = schemes, columns = the evaluation
+ * workloads plus their geometric-mean "Average", each cell normalized
+ * to the first scheme (Base).
+ */
+struct NormalizedMatrix
+{
+    std::vector<std::string> rowNames;
+    std::vector<std::string> colNames;
+    /** raw[row][col] — pre-normalization values. */
+    std::vector<std::vector<double>> raw;
+
+    /** Normalize each column to row @p base_row and append the mean. */
+    TablePrinter toTable(const std::string &title,
+                         std::size_t base_row = 0,
+                         int digits = 3) const;
+};
+
+/** Print the Table II-style configuration header once per bench. */
+void printConfigBanner(const SimConfig &cfg, std::ostream &os);
+
+} // namespace silo::harness
+
+#endif // SILO_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,150 @@
+#include "harness/system.hh"
+
+namespace silo::harness
+{
+
+System::System(const SimConfig &cfg,
+               const workload::WorkloadTraces &traces)
+    : _cfg(cfg), _traces(traces)
+{
+    _cfg.validate();
+    if (_traces.threads.size() < _cfg.numCores)
+        fatal("trace has fewer threads than configured cores");
+
+    _values.loadImage(_traces.initialMemory);
+    _logs = std::make_unique<log::LogRegionStore>(_cfg.numCores);
+    _pm = std::make_unique<nvm::PmDevice>(_eq, _cfg);
+    _pm->media().loadImage(_traces.initialMemory);
+    _mc = std::make_unique<mc::McRouter>(_eq, _cfg, *_pm, *_logs);
+
+    auto value_of = [this](Addr a) { return _values.load(a); };
+    _hierarchy = std::make_unique<mem::CacheHierarchy>(_eq, _cfg, *_mc,
+                                                       value_of);
+
+    auto set_value = [this](Addr a, Word v) { _values.store(a, v); };
+    _scheme = log::makeScheme(log::SchemeContext{
+        _eq, _cfg, *_mc, *_hierarchy, *_logs, *_pm, value_of,
+        set_value});
+
+    for (unsigned c = 0; c < _cfg.numCores; ++c) {
+        _cores.push_back(std::make_unique<core::ReplayCore>(
+            c, _eq, _cfg, *_hierarchy, *_scheme, _values,
+            _traces.threads[c], [this] {
+                // Periodic machinery (e.g., FWB's walker) keeps the
+                // event queue alive forever; stop once every core has
+                // retired its trace. drainToMedia() settles leftovers.
+                if (++_finishedCores == _cfg.numCores)
+                    _eq.requestStop();
+            }));
+    }
+}
+
+System::~System() = default;
+
+void
+System::run()
+{
+    if (!_started) {
+        for (auto &core : _cores)
+            core->start();
+        _started = true;
+    }
+    _eq.run();
+}
+
+bool
+System::runEvents(std::uint64_t max_events)
+{
+    if (!_started) {
+        for (auto &core : _cores)
+            core->start();
+        _started = true;
+    }
+    _eq.run(max_events);
+    return !_eq.empty() && !_eq.stopRequested();
+}
+
+void
+System::crash()
+{
+    if (_crashed)
+        panic("double crash");
+    _crashed = true;
+    // 1. Battery-backed selective flush (Silo §III-G; no-op for
+    //    schemes without battery-backed structures).
+    _scheme->crash();
+    // 2. ADR: the WPQ and on-PM buffer drain to media; LAD's held
+    //    (uncommitted) entries are discarded.
+    _mc->crashDrain();
+    // 3. Volatile caches lose everything.
+    _hierarchy->invalidateAll();
+}
+
+void
+System::recover()
+{
+    if (!_crashed)
+        panic("recover() without a crash");
+    _scheme->recover(_pm->media());
+}
+
+void
+System::settle(Cycles grace)
+{
+    _eq.clearStop();
+    _eq.runUntil(_eq.now() + grace);
+}
+
+void
+System::drainToMedia()
+{
+    // Clean shutdown: write back every dirty line, then drain queues.
+    for (Addr line : _hierarchy->allDirtyLines()) {
+        std::array<Word, wordsPerLine> values;
+        for (unsigned w = 0; w < wordsPerLine; ++w)
+            values[w] = _values.load(line + Addr(w) * wordBytes);
+        while (!_mc->tryWriteLine(line, values, false))
+            _mc->drainAll();
+    }
+    _hierarchy->invalidateAll();
+    _mc->drainAll();
+}
+
+void
+System::printStats(std::ostream &os)
+{
+    _pm->statGroup().print(os);
+    _mc->printStats(os);
+    for (unsigned c = 0; c < _cfg.numCores; ++c) {
+        _hierarchy->l1(c).statGroup().print(os);
+        _hierarchy->l2(c).statGroup().print(os);
+    }
+    _hierarchy->l3().statGroup().print(os);
+}
+
+SimReport
+System::report() const
+{
+    SimReport r;
+    for (const auto &core : _cores) {
+        r.committedTransactions += core->committedTx();
+        r.commitStallCycles += core->commitStallCycles();
+        r.storeStallCycles += core->storeStallCycles();
+    }
+    r.ticks = _eq.now();
+    if (r.ticks > 0) {
+        r.txPerMillionCycles = double(r.committedTransactions) * 1e6 /
+                               double(r.ticks);
+    }
+    r.mediaWordWrites = _pm->mediaWordWrites();
+    r.mediaLineWrites = _pm->mediaLineWrites();
+    r.dataRegionWordWrites = _pm->dataRegionWordWrites();
+    r.logRegionWordWrites = _pm->logRegionWordWrites();
+    r.logRecordsWritten = _scheme->schemeStats().logWrites.value();
+    r.wpqFullStalls = _mc->fullStalls();
+    r.wpqAcceptedWrites = _mc->acceptedWrites();
+    r.wpqAcceptedBytes = _mc->acceptedBytes();
+    return r;
+}
+
+} // namespace silo::harness

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The full simulated system: cores + caches + memory controller + PM
+ * device + logging scheme, wired from a SimConfig and a set of
+ * workload traces. This is the library's main entry point.
+ *
+ * Typical use:
+ * @code
+ *   auto traces = workload::generateTraces(tg);
+ *   harness::System sys(cfg, traces);
+ *   sys.run();
+ *   auto report = sys.report();
+ * @endcode
+ *
+ * Crash experiments stop the run mid-flight (runEvents), call crash()
+ * — battery flush, ADR drain, volatile-cache loss — then recover() and
+ * inspect media().
+ */
+
+#ifndef SILO_HARNESS_SYSTEM_HH
+#define SILO_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/replay_core.hh"
+#include "log/logging_scheme.hh"
+#include "mc/mc_router.hh"
+#include "mem/hierarchy.hh"
+#include "nvm/pm_device.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "workload/trace.hh"
+
+namespace silo::harness
+{
+
+/** Headline results of one run. */
+struct SimReport
+{
+    std::uint64_t committedTransactions = 0;
+    Tick ticks = 0;
+    double txPerMillionCycles = 0;
+    std::uint64_t mediaWordWrites = 0;
+    std::uint64_t mediaLineWrites = 0;
+    std::uint64_t dataRegionWordWrites = 0;
+    std::uint64_t logRegionWordWrites = 0;
+    std::uint64_t logRecordsWritten = 0;
+    std::uint64_t commitStallCycles = 0;
+    std::uint64_t storeStallCycles = 0;
+    std::uint64_t wpqFullStalls = 0;
+    std::uint64_t wpqAcceptedWrites = 0;
+    std::uint64_t wpqAcceptedBytes = 0;
+};
+
+/** A complete simulated machine executing a traced workload. */
+class System
+{
+  public:
+    System(const SimConfig &cfg, const workload::WorkloadTraces &traces);
+    ~System();
+
+    /** Run every core's trace to completion. */
+    void run();
+
+    /**
+     * Run at most @p max_events more events.
+     * @return true while work remains.
+     */
+    bool runEvents(std::uint64_t max_events);
+
+    /**
+     * Crash now: battery-backed scheme flush, ADR drain of WPQ and
+     * on-PM buffer, loss of all volatile cache state.
+     */
+    void crash();
+
+    /** Recover the PM image using the scheme's recovery procedure. */
+    void recover();
+
+    /**
+     * After the cores retire, let background machinery finish (e.g.,
+     * Silo's post-commit in-place updates): runs pending events for a
+     * bounded grace period.
+     */
+    void settle(Cycles grace = 100000);
+
+    /** Flush caches and queues (clean shutdown; finalizes counters). */
+    void drainToMedia();
+
+    SimReport report() const;
+
+    /** Dump every component's statistics (gem5-style stat lines). */
+    void printStats(std::ostream &os);
+
+    /** @name Component access (tests, benches, examples) */
+    /// @{
+    EventQueue &eventQueue() { return _eq; }
+    nvm::PmDevice &pm() { return *_pm; }
+    mc::McRouter &mc() { return *_mc; }
+    mem::CacheHierarchy &hierarchy() { return *_hierarchy; }
+    log::LoggingScheme &scheme() { return *_scheme; }
+    log::LogRegionStore &logRegion() { return *_logs; }
+    core::ReplayCore &coreAt(unsigned i) { return *_cores[i]; }
+    unsigned numCores() const { return unsigned(_cores.size()); }
+    /** Architectural (pre-crash) values — the running system's view. */
+    WordStore &values() { return _values; }
+    /// @}
+
+    const SimConfig &config() const { return _cfg; }
+
+  private:
+    SimConfig _cfg;
+    /** Own a copy: replay cores reference into it for the whole run. */
+    workload::WorkloadTraces _traces;
+    EventQueue _eq;
+    WordStore _values;
+    std::unique_ptr<log::LogRegionStore> _logs;
+    std::unique_ptr<nvm::PmDevice> _pm;
+    std::unique_ptr<mc::McRouter> _mc;
+    std::unique_ptr<mem::CacheHierarchy> _hierarchy;
+    std::unique_ptr<log::LoggingScheme> _scheme;
+    std::vector<std::unique_ptr<core::ReplayCore>> _cores;
+    unsigned _finishedCores = 0;
+    bool _started = false;
+    bool _crashed = false;
+};
+
+} // namespace silo::harness
+
+#endif // SILO_HARNESS_SYSTEM_HH

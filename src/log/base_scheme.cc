@@ -1,0 +1,104 @@
+#include "log/base_scheme.hh"
+
+#include "log/wal_recovery.hh"
+
+namespace silo::log
+{
+
+BaseScheme::BaseScheme(SchemeContext ctx)
+    : LoggingScheme(std::move(ctx)), _cores(_ctx.cfg.numCores)
+{
+}
+
+void
+BaseScheme::txBegin(unsigned core, std::uint16_t txid)
+{
+    _cores[core].txid = txid;
+    _cores[core].lastCommitted = false;
+}
+
+void
+BaseScheme::store(unsigned core, Addr addr, Word old_val, Word new_val,
+                  std::function<void()> done)
+{
+    CoreState &cs = _cores[core];
+    ++cs.outstanding;
+
+    LogRecord rec;
+    rec.kind = LogRecord::Kind::UndoRedo;
+    rec.tid = std::uint8_t(core);
+    rec.txid = cs.txid;
+    rec.dataAddr = addr;
+    rec.oldData = old_val;
+    rec.newData = new_val;
+
+    // Log first, then force the updated cacheline to PM (the per-write
+    // ordering of Fig. 3's undo+redo baseline).
+    writeLogWithRetry(core, rec, [this, core, addr] {
+        _ctx.hierarchy.flushLine(core, lineAlign(addr), false,
+                                 [this, core] { opFinished(core); });
+    });
+
+    if (cs.outstanding <= maxOutstanding)
+        done();
+    else
+        cs.stalledStores.push_back(std::move(done));
+}
+
+void
+BaseScheme::opFinished(unsigned core)
+{
+    CoreState &cs = _cores[core];
+    --cs.outstanding;
+    if (!cs.stalledStores.empty() && cs.outstanding < maxOutstanding) {
+        auto done = std::move(cs.stalledStores.front());
+        cs.stalledStores.pop_front();
+        done();
+    }
+    if (cs.outstanding == 0 && cs.pendingCommit)
+        finishCommit(core);
+}
+
+void
+BaseScheme::finishCommit(unsigned core)
+{
+    CoreState &cs = _cores[core];
+    LogRecord marker;
+    marker.kind = LogRecord::Kind::Commit;
+    marker.tid = std::uint8_t(core);
+    marker.txid = cs.txid;
+
+    auto done = std::move(cs.pendingCommit);
+    cs.pendingCommit = nullptr;
+    writeLogWithRetry(core, marker, [this, core,
+                                     done = std::move(done)] {
+        // All data and logs are durable: the log can truncate (a
+        // head-pointer update, no PM write).
+        _ctx.logs.truncate(core);
+        _cores[core].lastCommitted = true;
+        done();
+    });
+}
+
+void
+BaseScheme::txEnd(unsigned core, std::function<void()> done)
+{
+    CoreState &cs = _cores[core];
+    cs.pendingCommit = std::move(done);
+    if (cs.outstanding == 0)
+        finishCommit(core);
+}
+
+bool
+BaseScheme::lastTxCommittedAtCrash(unsigned core) const
+{
+    return _cores[core].lastCommitted;
+}
+
+void
+BaseScheme::recover(WordStore &media)
+{
+    walRecover(_ctx.logs, _ctx.cfg.numCores, media);
+}
+
+} // namespace silo::log

@@ -1,0 +1,136 @@
+#include "log/fwb_scheme.hh"
+
+#include <memory>
+#include <vector>
+#include "log/wal_recovery.hh"
+
+namespace silo::log
+{
+
+FwbScheme::FwbScheme(SchemeContext ctx)
+    : LoggingScheme(std::move(ctx)), _cores(_ctx.cfg.numCores)
+{
+    scheduleWalk();
+}
+
+void
+FwbScheme::scheduleWalk()
+{
+    _ctx.eq.scheduleAfter(_ctx.cfg.fwbIntervalCycles, [this] {
+        walk();
+        scheduleWalk();
+    });
+}
+
+void
+FwbScheme::walk()
+{
+    // Force-write-back every dirty line, paced one line at a time so
+    // the walker shares the WPQ with demand traffic instead of
+    // flooding it in one burst. Undo data in the logs keeps atomicity
+    // even when uncommitted lines reach PM.
+    auto lines = std::make_shared<std::vector<Addr>>(
+        _ctx.hierarchy.allDirtyLines());
+    auto next = std::make_shared<std::size_t>(0);
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, lines, next, step] {
+        if (*next >= lines->size())
+            return;
+        Addr line = (*lines)[(*next)++];
+        ++_walkerWritebacks;
+        unsigned owner = addr_map::inDataRegion(line)
+                             ? addr_map::dataArenaOwner(line) : 0;
+        _ctx.hierarchy.flushLine(owner, line, false, [this, step] {
+            _ctx.eq.scheduleAfter(4, [step] { (*step)(); });
+        });
+    };
+    (*step)();
+}
+
+void
+FwbScheme::txBegin(unsigned core, std::uint16_t txid)
+{
+    _cores[core].txid = txid;
+    _cores[core].lastCommitted = false;
+}
+
+void
+FwbScheme::logAccepted(unsigned core)
+{
+    CoreState &cs = _cores[core];
+    --cs.postedLogs;
+    if (!cs.stalledStores.empty() && cs.postedLogs < maxPostedLogs) {
+        auto done = std::move(cs.stalledStores.front());
+        cs.stalledStores.pop_front();
+        done();
+    }
+    if (cs.postedLogs == 0 && cs.pendingCommit)
+        finishCommit(core);
+}
+
+void
+FwbScheme::store(unsigned core, Addr addr, Word old_val, Word new_val,
+                 std::function<void()> done)
+{
+    CoreState &cs = _cores[core];
+    LogRecord rec;
+    rec.kind = LogRecord::Kind::UndoRedo;
+    rec.tid = std::uint8_t(core);
+    rec.txid = cs.txid;
+    rec.dataAddr = addr;
+    rec.oldData = old_val;
+    rec.newData = new_val;
+
+    // The log write is posted: the queue enforces log-before-data
+    // ordering, so the store retires immediately unless the posted
+    // queue is full.
+    ++cs.postedLogs;
+    writeLogWithRetry(core, rec, [this, core] { logAccepted(core); });
+
+    if (cs.postedLogs <= maxPostedLogs)
+        done();
+    else
+        cs.stalledStores.push_back(std::move(done));
+}
+
+void
+FwbScheme::finishCommit(unsigned core)
+{
+    CoreState &cs = _cores[core];
+    LogRecord marker;
+    marker.kind = LogRecord::Kind::Commit;
+    marker.tid = std::uint8_t(core);
+    marker.txid = cs.txid;
+    auto done = std::move(cs.pendingCommit);
+    cs.pendingCommit = nullptr;
+    writeLogWithRetry(core, marker, [this, core,
+                                     done = std::move(done)] {
+        _cores[core].lastCommitted = true;
+        done();
+    });
+}
+
+void
+FwbScheme::txEnd(unsigned core, std::function<void()> done)
+{
+    // Commit requires every posted log of the transaction to be
+    // durable, then the marker.
+    CoreState &cs = _cores[core];
+    cs.pendingCommit = std::move(done);
+    if (cs.postedLogs == 0)
+        finishCommit(core);
+}
+
+bool
+FwbScheme::lastTxCommittedAtCrash(unsigned core) const
+{
+    return _cores[core].lastCommitted;
+}
+
+void
+FwbScheme::recover(WordStore &media)
+{
+    walRecover(_ctx.logs, _ctx.cfg.numCores, media);
+}
+
+} // namespace silo::log

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FWB ("steal but no force"): hardware undo+redo logging with a
+ * periodic cache force-write-back walker (§II-D, §VI-A).
+ *
+ * Every store persists an undo+redo entry and the store retires only
+ * once its log is accepted by the ADR domain — FWB "forces the logs to
+ * PM before the updated data for each write". Data reaches PM by
+ * natural eviction plus a walker that force-writes-back all dirty
+ * cachelines every 3,000,000 cycles, bounding log lifetime.
+ */
+
+#ifndef SILO_LOG_FWB_SCHEME_HH
+#define SILO_LOG_FWB_SCHEME_HH
+
+#include <deque>
+#include <vector>
+
+#include "log/logging_scheme.hh"
+
+namespace silo::log
+{
+
+/** Undo+redo logging with force write-back. */
+class FwbScheme : public LoggingScheme
+{
+  public:
+    explicit FwbScheme(SchemeContext ctx);
+
+    const char *name() const override { return "FWB"; }
+
+    void txBegin(unsigned core, std::uint16_t txid) override;
+    void store(unsigned core, Addr addr, Word old_val, Word new_val,
+               std::function<void()> done) override;
+    void txEnd(unsigned core, std::function<void()> done) override;
+    bool lastTxCommittedAtCrash(unsigned core) const override;
+    void recover(WordStore &media) override;
+
+    std::uint64_t walkerWritebacks() const
+    {
+        return _walkerWritebacks.value();
+    }
+
+  private:
+    /** Posted-but-unaccepted log writes a core may have in flight. */
+    static constexpr unsigned maxPostedLogs = 16;
+
+    struct CoreState
+    {
+        std::uint16_t txid = 0;
+        bool lastCommitted = false;
+        unsigned postedLogs = 0;
+        /** Stores stalled on the posted-log queue being full. */
+        std::deque<std::function<void()>> stalledStores;
+        /** Commit waiting for postedLogs == 0. */
+        std::function<void()> pendingCommit;
+    };
+
+    void logAccepted(unsigned core);
+    void finishCommit(unsigned core);
+
+    void scheduleWalk();
+    void walk();
+
+    std::vector<CoreState> _cores;
+    stats::Scalar _walkerWritebacks{"fwb_writebacks",
+        "dirty lines force-written-back by the FWB walker"};
+};
+
+} // namespace silo::log
+
+#endif // SILO_LOG_FWB_SCHEME_HH

@@ -1,0 +1,221 @@
+#include "log/lad_scheme.hh"
+
+#include <algorithm>
+
+namespace silo::log
+{
+
+namespace
+{
+
+/** Hold back this many MC entries of headroom before slow mode. */
+constexpr unsigned heldHeadroom = 8;
+
+} // namespace
+
+LadScheme::LadScheme(SchemeContext ctx)
+    : LoggingScheme(std::move(ctx)), _cores(_ctx.cfg.numCores)
+{
+    // Dirty L3 victims of uncommitted transactions are buffered in the
+    // MC as held entries instead of draining to PM.
+    _ctx.hierarchy.setEvictionHeldPredicate([this](Addr line) {
+        // An eviction is about to claim an MC slot: relieve pressure
+        // first if the held population is near capacity.
+        maybeRelieve();
+        return lineIsUncommitted(line);
+    });
+    _ctx.mc.setEvictionObserver([this](Addr) { maybeRelieve(); });
+}
+
+int
+LadScheme::ownerOf(Addr line) const
+{
+    if (!addr_map::inDataRegion(line))
+        return -1;
+    unsigned owner = addr_map::dataArenaOwner(line);
+    return owner < _cores.size() ? int(owner) : -1;
+}
+
+bool
+LadScheme::lineIsUncommitted(Addr line) const
+{
+    int owner = ownerOf(line);
+    if (owner < 0)
+        return false;
+    const CoreState &cs = _cores[owner];
+    return cs.open && cs.txLines.count(line) && !cs.undoLogged.count(line);
+}
+
+void
+LadScheme::txBegin(unsigned core, std::uint16_t txid)
+{
+    CoreState &cs = _cores[core];
+    cs.txid = txid;
+    cs.open = true;
+    cs.lastCommitted = false;
+    cs.txLines.clear();
+    cs.undoImage.clear();
+    cs.undoLogged.clear();
+}
+
+void
+LadScheme::store(unsigned core, Addr addr, Word old_val, Word new_val,
+                 std::function<void()> done)
+{
+    (void)new_val;
+    CoreState &cs = _cores[core];
+    cs.txLines.insert(lineAlign(addr));
+    cs.undoImage.emplace(addr, old_val);   // keep the first (oldest)
+    done();
+}
+
+void
+LadScheme::relieveLine(unsigned core, Addr line)
+{
+    CoreState &cs = _cores[core];
+    if (cs.undoLogged.count(line))
+        return;
+    cs.undoLogged.insert(line);
+    ++_fallbacks;
+
+    // Slow mode: read the line's old data from PM, then persist undo
+    // records for the words this transaction modified, then let the
+    // held entry drain.
+    _ctx.mc.read(line, [this, core, line] {
+        CoreState &cs2 = _cores[core];
+        std::vector<std::pair<Addr, Word>> words;
+        for (const auto &[addr, old_val] : cs2.undoImage) {
+            if (lineAlign(addr) == line)
+                words.emplace_back(addr, old_val);
+        }
+        if (words.empty()) {
+            _ctx.mc.releaseHeld(line);
+            return;
+        }
+        auto remaining = std::make_shared<unsigned>(
+            unsigned(words.size()));
+        for (const auto &[addr, old_val] : words) {
+            LogRecord rec;
+            rec.kind = LogRecord::Kind::Undo;
+            rec.tid = std::uint8_t(core);
+            rec.txid = cs2.txid;
+            rec.dataAddr = addr;
+            rec.oldData = old_val;
+            writeLogWithRetry(core, rec, [this, line, remaining] {
+                if (--*remaining == 0)
+                    _ctx.mc.releaseHeld(line);
+            });
+        }
+    });
+}
+
+void
+LadScheme::maybeRelieve()
+{
+    if (_ctx.mc.heldEntries() + heldHeadroom < _ctx.cfg.ladMcEntries)
+        return;
+    // Push the busiest open transaction's oldest line to slow mode.
+    for (unsigned core = 0; core < _cores.size(); ++core) {
+        CoreState &cs = _cores[core];
+        if (!cs.open)
+            continue;
+        for (Addr line : cs.txLines) {
+            if (!cs.undoLogged.count(line)) {
+                relieveLine(core, line);
+                return;
+            }
+        }
+    }
+}
+
+void
+LadScheme::commitPhase1(unsigned core, std::vector<Addr> lines,
+                        std::size_t next, std::function<void()> done)
+{
+    if (next >= lines.size()) {
+        // On-chip pipeline delay for the last line to reach the MC.
+        Cycles pipe = _ctx.cfg.l2.latency + _ctx.cfg.l3.latency;
+        _ctx.eq.scheduleAfter(pipe, [this, core,
+                                     done = std::move(done)]() mutable {
+            commitPhase2(core, std::move(done));
+        });
+        return;
+    }
+    Addr line = lines[next];
+    if (!_ctx.hierarchy.isDirty(core, line)) {
+        commitPhase1(core, std::move(lines), next + 1, std::move(done));
+        return;
+    }
+    ++_phase1Lines;
+    maybeRelieve();
+    bool held = !_cores[core].undoLogged.count(line);
+    _ctx.hierarchy.flushLine(core, line, held,
+                             [this, core, lines = std::move(lines),
+                              next, done = std::move(done)]() mutable {
+        // The L1 -> LLC -> MC pipeline issues one line per interval
+        // (LAD's commit waits on this path, §V point 1).
+        _ctx.eq.scheduleAfter(_ctx.cfg.ladFlushPerLineCycles,
+                              [this, core, lines = std::move(lines),
+                               next, done = std::move(done)]() mutable {
+            commitPhase1(core, std::move(lines), next + 1,
+                         std::move(done));
+        });
+    });
+}
+
+void
+LadScheme::commitPhase2(unsigned core, std::function<void()> done)
+{
+    CoreState &cs = _cores[core];
+    for (Addr line : cs.txLines)
+        _ctx.mc.releaseHeld(line);
+    // Undo logs of slow-mode lines are obsolete after commit.
+    _ctx.logs.truncate(core);
+    cs.open = false;
+    cs.lastCommitted = true;
+    cs.txLines.clear();
+    cs.undoImage.clear();
+    cs.undoLogged.clear();
+    done();
+}
+
+void
+LadScheme::txEnd(unsigned core, std::function<void()> done)
+{
+    CoreState &cs = _cores[core];
+    std::vector<Addr> lines(cs.txLines.begin(), cs.txLines.end());
+    commitPhase1(core, std::move(lines), 0, std::move(done));
+}
+
+void
+LadScheme::crash()
+{
+    // Held (uncommitted) MC entries are dropped by the ADR drain. The
+    // only state to complete is slow-mode undo records still waiting
+    // for a WPQ slot inside the MC's ADR log path.
+    flushInFlightLogs();
+}
+
+bool
+LadScheme::lastTxCommittedAtCrash(unsigned core) const
+{
+    return _cores[core].lastCommitted;
+}
+
+void
+LadScheme::recover(WordStore &media)
+{
+    // Only slow-mode undo records can be live (commit truncates them):
+    // revoke the partial updates of uncommitted transactions.
+    for (unsigned t = 0; t < _ctx.cfg.numCores; ++t) {
+        auto records = _ctx.logs.liveRecords(t);
+        for (auto it = records.rbegin(); it != records.rend(); ++it) {
+            const LogRecord &rec = it->second;
+            if (rec.kind == LogRecord::Kind::Undo)
+                media.store(rec.dataAddr, rec.oldData);
+        }
+        _ctx.logs.truncate(t);
+    }
+}
+
+} // namespace silo::log

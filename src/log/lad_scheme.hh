@@ -1,0 +1,93 @@
+/**
+ * @file
+ * LAD: logless atomic durability (§V, §VI-A).
+ *
+ * No logs in the common case. The memory controller (ADR domain)
+ * buffers the updated cachelines of an open transaction as "held"
+ * entries — durable but not drainable. Tx_end runs two phases: Phase 1
+ * flushes every still-cached dirty line of the transaction to the MC
+ * (this wait is LAD's ordering cost, worst for low-locality workloads
+ * like Array and Queue, §VI-C); Phase 2 releases the held entries.
+ * A crash discards held (uncommitted) lines, preserving atomicity.
+ *
+ * If held entries approach the MC's capacity, LAD falls back to a slow
+ * mode: it reads the line's old data from PM and writes undo log
+ * entries, after which the line may drain early (§V point 3).
+ */
+
+#ifndef SILO_LOG_LAD_SCHEME_HH
+#define SILO_LOG_LAD_SCHEME_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "log/logging_scheme.hh"
+
+namespace silo::log
+{
+
+/** Logless atomic durability via MC-buffered cachelines. */
+class LadScheme : public LoggingScheme
+{
+  public:
+    explicit LadScheme(SchemeContext ctx);
+
+    const char *name() const override { return "LAD"; }
+
+    void txBegin(unsigned core, std::uint16_t txid) override;
+    void store(unsigned core, Addr addr, Word old_val, Word new_val,
+               std::function<void()> done) override;
+    void txEnd(unsigned core, std::function<void()> done) override;
+    void crash() override;
+    bool lastTxCommittedAtCrash(unsigned core) const override;
+    void recover(WordStore &media) override;
+
+    std::uint64_t overflowFallbacks() const
+    {
+        return _fallbacks.value();
+    }
+
+  private:
+    struct CoreState
+    {
+        std::uint16_t txid = 0;
+        bool open = false;
+        bool lastCommitted = false;
+        /** Dirty lines of the open transaction. */
+        std::set<Addr> txLines;
+        /** First-store old value per word (slow-mode undo data). */
+        std::map<Addr, Word> undoImage;
+        /** Lines whose undo is already persisted (slow mode). */
+        std::set<Addr> undoLogged;
+    };
+
+    /** @return core owning @p line, or -1 if outside any data arena. */
+    int ownerOf(Addr line) const;
+
+    /** True while @p line belongs to an open transaction. */
+    bool lineIsUncommitted(Addr line) const;
+
+    /**
+     * Slow mode: persist undo records for the oldest held lines and
+     * release them, relieving MC pressure.
+     */
+    void maybeRelieve();
+    void relieveLine(unsigned core, Addr line);
+
+    /** Phase 1 of commit: flush remaining dirty tx lines to the MC. */
+    void commitPhase1(unsigned core, std::vector<Addr> lines,
+                      std::size_t next, std::function<void()> done);
+    /** Phase 2: release held entries; the transaction is committed. */
+    void commitPhase2(unsigned core, std::function<void()> done);
+
+    std::vector<CoreState> _cores;
+    stats::Scalar _fallbacks{"lad_fallbacks",
+        "lines pushed to slow mode (PM read + undo log)"};
+    stats::Scalar _phase1Lines{"lad_phase1_lines",
+        "dirty lines flushed during commit phase 1"};
+};
+
+} // namespace silo::log
+
+#endif // SILO_LOG_LAD_SCHEME_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The log entry (Fig. 6) and the structural records that logging
+ * schemes persist into the PM log region.
+ *
+ * Log-region traffic is accounted in bytes through the memory
+ * controller and on-PM buffer, but the *content* of the log region is
+ * kept structurally (a LogRecord per persisted entry) so that crash
+ * recovery can interpret it without byte (de)serialization.
+ */
+
+#ifndef SILO_LOG_LOG_RECORD_HH
+#define SILO_LOG_LOG_RECORD_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace silo::log
+{
+
+/** A persisted log-region record. */
+struct LogRecord
+{
+    enum class Kind : std::uint8_t
+    {
+        Undo,       //!< metadata + old data (18 B, §III-F)
+        Redo,       //!< metadata + new data (18 B)
+        UndoRedo,   //!< metadata + old + new data (26 B, Fig. 6)
+        Commit,     //!< a baseline scheme's commit marker (8 B)
+        IdTuple,    //!< Silo's committed-transaction tuple (8 B, §III-G)
+    };
+
+    Kind kind = Kind::UndoRedo;
+    std::uint8_t tid = 0;        //!< thread id (8 bits, Fig. 6)
+    std::uint16_t txid = 0;      //!< transaction id (16 bits, Fig. 6)
+    bool flushBit = false;       //!< Fig. 6 flush-bit
+    Addr dataAddr = 0;           //!< 48-bit data word address
+    Word oldData = 0;
+    Word newData = 0;
+
+    /** Persisted size in bytes. */
+    unsigned
+    sizeBytes() const
+    {
+        switch (kind) {
+          case Kind::Undo:
+          case Kind::Redo:
+            return undoLogEntryBytes;           // 18 B
+          case Kind::UndoRedo:
+            return undoRedoLogEntryBytes;       // 26 B
+          case Kind::Commit:
+          case Kind::IdTuple:
+            return wordBytes;                   // 8 B
+        }
+        return undoRedoLogEntryBytes;
+    }
+};
+
+} // namespace silo::log
+
+#endif // SILO_LOG_LOG_RECORD_HH

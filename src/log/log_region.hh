@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The distributed PM log region (§III-B).
+ *
+ * Each thread owns a private log area and appends records at
+ * monotonically increasing addresses (tracked by the per-core head and
+ * tail registers of Table I). Appends never straddle an on-PM buffer
+ * line, matching the batched layout of §III-F. Records become durable
+ * when their write is accepted into the ADR domain; recovery iterates
+ * the live records in address order.
+ */
+
+#ifndef SILO_LOG_LOG_REGION_HH
+#define SILO_LOG_LOG_REGION_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/address_map.hh"
+#include "sim/logging.hh"
+#include "log/log_record.hh"
+
+namespace silo::log
+{
+
+/** Structural contents and allocation state of the PM log region. */
+class LogRegionStore
+{
+  public:
+    explicit LogRegionStore(unsigned num_threads)
+        : _tail(num_threads), _head(num_threads)
+    {
+        for (unsigned t = 0; t < num_threads; ++t) {
+            _tail[t] = addr_map::logAreaBase(t);
+            _head[t] = _tail[t];
+        }
+    }
+
+    /**
+     * Reserve space for a @p bytes record in thread @p tid 's area,
+     * padding so the record does not straddle a 256 B on-PM buffer
+     * line.
+     * @return the record's address.
+     */
+    Addr
+    allocate(unsigned tid, unsigned bytes)
+    {
+        Addr addr = _tail.at(tid);
+        if (pmLineAlign(addr) != pmLineAlign(addr + bytes - 1))
+            addr = pmLineAlign(addr) + pmBufferLineBytes;
+        _tail[tid] = addr + bytes;
+        if (_tail[tid] >= addr_map::logAreaBase(tid) +
+                          addr_map::logAreaBytes) {
+            fatal("log area exhausted; raise logAreaBytes");
+        }
+        return addr;
+    }
+
+    /** Make @p record durable at @p addr (called at WPQ accept). */
+    void
+    persist(Addr addr, const LogRecord &record)
+    {
+        _records[addr] = record;
+    }
+
+    /**
+     * Logically truncate thread @p tid 's log up to the current tail:
+     * a head-pointer update in the on-chip register, no PM write.
+     */
+    void
+    truncate(unsigned tid)
+    {
+        Addr head = _head.at(tid);
+        Addr tail = _tail.at(tid);
+        _records.erase(_records.lower_bound(head),
+                       _records.lower_bound(tail));
+        _head[tid] = tail;
+    }
+
+    /** Live records of thread @p tid in ascending address order. */
+    std::vector<std::pair<Addr, LogRecord>>
+    liveRecords(unsigned tid) const
+    {
+        std::vector<std::pair<Addr, LogRecord>> out;
+        Addr lo = _head.at(tid);
+        Addr hi = _tail.at(tid);
+        for (auto it = _records.lower_bound(lo);
+             it != _records.end() && it->first < hi; ++it) {
+            out.push_back(*it);
+        }
+        return out;
+    }
+
+    /** Total number of live records (test hook). */
+    std::size_t liveRecordCount() const { return _records.size(); }
+
+    /** Current tail of thread @p tid 's area (test hook). */
+    Addr tail(unsigned tid) const { return _tail.at(tid); }
+
+  private:
+    std::map<Addr, LogRecord> _records;
+    std::vector<Addr> _tail;
+    std::vector<Addr> _head;
+};
+
+} // namespace silo::log
+
+#endif // SILO_LOG_LOG_REGION_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The hardware-logging scheme interface.
+ *
+ * A scheme plugs into the memory system at the points the paper's
+ * designs differ: transaction boundaries, completed stores (where the
+ * log generator captures old+new data), commit gating, and the two
+ * rare cases — crash (battery-backed selective flush) and recovery.
+ *
+ * Concrete schemes: BaseScheme, FwbScheme, MorLogScheme, LadScheme
+ * (§VI-A's comparison points) and SiloScheme (§III).
+ */
+
+#ifndef SILO_LOG_LOGGING_SCHEME_HH
+#define SILO_LOG_LOGGING_SCHEME_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+
+#include "log/log_region.hh"
+#include "mc/mc_router.hh"
+#include "mem/hierarchy.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/word_store.hh"
+
+namespace silo::log
+{
+
+/** Everything a scheme may touch, handed to it at construction. */
+struct SchemeContext
+{
+    EventQueue &eq;
+    const SimConfig &cfg;
+    mc::McRouter &mc;
+    mem::CacheHierarchy &hierarchy;
+    LogRegionStore &logs;
+    nvm::PmDevice &pm;
+    /** Architectural value of a word (the replay engine's view). */
+    std::function<Word(Addr)> valueOf;
+    /** Write an architectural word (software-logging schemes store
+     *  log content through the cache like ordinary data). */
+    std::function<void(Addr, Word)> setValue;
+};
+
+/** Common per-scheme statistics. */
+struct SchemeStats
+{
+    stats::Scalar logWrites{"log_writes",
+        "log records sent to the PM log region"};
+    stats::Scalar logBytes{"log_bytes",
+        "bytes of log records sent to the PM log region"};
+    stats::Scalar commitStallCycles{"commit_stall_cycles",
+        "cycles transactions waited at Tx_end"};
+    stats::Scalar storeStallCycles{"store_stall_cycles",
+        "cycles stores waited on the scheme"};
+    stats::Scalar crashFlushBytes{"crash_flush_bytes",
+        "bytes flushed by battery on a crash"};
+};
+
+/** Abstract atomic-durability mechanism. */
+class LoggingScheme
+{
+  public:
+    explicit LoggingScheme(SchemeContext ctx) : _ctx(std::move(ctx)) {}
+    virtual ~LoggingScheme() = default;
+
+    /** Display name matching the paper's figures. */
+    virtual const char *name() const = 0;
+
+    /** A core executed Tx_begin. */
+    virtual void txBegin(unsigned core, std::uint16_t txid)
+    {
+        (void)core;
+        (void)txid;
+    }
+
+    /**
+     * A store completed in the core's L1D. The log generator sees the
+     * in-flight new data and the old data read during tag match
+     * (§III-B). Call @p done when the core may proceed — schemes with
+     * per-store persist ordering or full buffers defer it.
+     */
+    virtual void
+    store(unsigned core, Addr addr, Word old_val, Word new_val,
+          std::function<void()> done)
+    {
+        (void)core;
+        (void)addr;
+        (void)old_val;
+        (void)new_val;
+        done();
+    }
+
+    /**
+     * A core executed Tx_end. Call @p done when the scheme's commit
+     * requirements hold (the transaction is then durable).
+     */
+    virtual void txEnd(unsigned core, std::function<void()> done)
+    {
+        (void)core;
+        done();
+    }
+
+    /**
+     * System crash: the battery-backed flush. Runs after the event
+     * loop stops and before the ADR drain; may write log records
+     * directly into the log region (battery power, no timing).
+     *
+     * The default completes the in-flight log writes: a record handed
+     * to writeLogWithRetry() lives in the memory controller's
+     * ADR-domain log path while it waits for a WPQ slot, so it is
+     * durable even if the crash interleaves with the retries.
+     * Overrides must call flushInFlightLogs().
+     */
+    virtual void crash() { flushInFlightLogs(); }
+
+    /**
+     * @return true if @p core 's latest transaction must be treated as
+     * committed by recovery (used by the crash oracle when a commit
+     * was in flight at the crash instant).
+     */
+    virtual bool lastTxCommittedAtCrash(unsigned core) const
+    {
+        (void)core;
+        return false;
+    }
+
+    /** Post-crash recovery: restore atomic durability in @p media. */
+    virtual void recover(WordStore &media) { (void)media; }
+
+    const SchemeStats &schemeStats() const { return _stats; }
+
+  protected:
+    /**
+     * Persist @p record via the MC, retrying while the WPQ is full.
+     * The record is tracked until accepted so a crash mid-retry still
+     * finds it (it sits in the MC's ADR-domain log path).
+     */
+    void
+    writeLogWithRetry(unsigned tid, LogRecord record,
+                      std::function<void()> done)
+    {
+        Addr addr = _ctx.logs.allocate(tid, record.sizeBytes());
+        ++_stats.logWrites;
+        _stats.logBytes += record.sizeBytes();
+        _inFlightLogs[addr] = record;
+        tryPersist(addr, record, std::move(done));
+    }
+
+    /** Crash path: make every in-flight log record durable. */
+    void
+    flushInFlightLogs()
+    {
+        for (const auto &[addr, record] : _inFlightLogs)
+            _ctx.logs.persist(addr, record);
+        _inFlightLogs.clear();
+    }
+
+    SchemeContext _ctx;
+    SchemeStats _stats;
+    /** Allocated-but-unaccepted records (durable in the MC log path). */
+    std::map<Addr, LogRecord> _inFlightLogs;
+
+  private:
+    void
+    tryPersist(Addr addr, LogRecord record, std::function<void()> done)
+    {
+        if (_ctx.mc.tryWriteLog(addr, record)) {
+            _inFlightLogs.erase(addr);
+            done();
+            return;
+        }
+        _ctx.mc.requestWriteSlot(
+            addr, [this, addr, record, done = std::move(done)]() mutable {
+                tryPersist(addr, record, std::move(done));
+            });
+    }
+};
+
+/** No durability mechanism: raw memory system (calibration runs). */
+class NullScheme : public LoggingScheme
+{
+  public:
+    using LoggingScheme::LoggingScheme;
+    const char *name() const override { return "None"; }
+};
+
+/** Instantiate the scheme selected by @p ctx.cfg.scheme. */
+std::unique_ptr<LoggingScheme> makeScheme(SchemeContext ctx);
+
+} // namespace silo::log
+
+#endif // SILO_LOG_LOGGING_SCHEME_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * MorLog: morphable hardware logging (§II-D, §VI-A).
+ *
+ * Stores send undo+redo entries to a persistent (ADR-domain) per-core
+ * log buffer in the memory controller, where entries for the same word
+ * merge — eliminating the intermediate redo data that FWB writes out.
+ * Tx_end must flush every buffered entry of the transaction to the PM
+ * log region before it completes (MorLog's commit ordering constraint);
+ * data reaches PM by natural eviction ("steal"). Logs are still
+ * backups: they are always written to the log region per transaction.
+ */
+
+#ifndef SILO_LOG_MORLOG_SCHEME_HH
+#define SILO_LOG_MORLOG_SCHEME_HH
+
+#include <deque>
+#include <vector>
+
+#include "log/logging_scheme.hh"
+
+namespace silo::log
+{
+
+/** Merge-buffered undo+redo logging, flushed at commit. */
+class MorLogScheme : public LoggingScheme
+{
+  public:
+    explicit MorLogScheme(SchemeContext ctx);
+
+    const char *name() const override { return "MorLog"; }
+
+    void txBegin(unsigned core, std::uint16_t txid) override;
+    void store(unsigned core, Addr addr, Word old_val, Word new_val,
+               std::function<void()> done) override;
+    void txEnd(unsigned core, std::function<void()> done) override;
+    void crash() override;
+    bool lastTxCommittedAtCrash(unsigned core) const override;
+    void recover(WordStore &media) override;
+
+    std::uint64_t mergedLogs() const { return _merged.value(); }
+
+  private:
+    /** Capacity of the per-core merge buffer (entries). */
+    static constexpr unsigned bufferCapacity = 64;
+
+    struct BufEntry
+    {
+        std::uint16_t txid;
+        Addr addr;
+        Word oldData;
+        Word newData;
+        /** Entry is being written to the log region; it must stay in
+         *  the ADR buffer until the write is accepted, or a crash in
+         *  between would lose the undo data. */
+        bool flushing = false;
+    };
+
+    struct CoreState
+    {
+        std::uint16_t txid = 0;
+        std::deque<BufEntry> buffer;   //!< ADR-domain, survives crash
+        unsigned commitOutstanding = 0;
+        std::function<void()> pendingCommit;
+        bool lastCommitted = false;
+    };
+
+    /** Write one entry's record to the PM log region. */
+    void flushEntry(unsigned core, BufEntry entry,
+                    std::function<void()> on_accept);
+    /** Remove a flushed entry from the ADR buffer (post-accept). */
+    void eraseEntry(unsigned core, const BufEntry &entry);
+    void commitFlushFinished(unsigned core);
+
+    std::vector<CoreState> _cores;
+    stats::Scalar _merged{"morlog_merged",
+        "log entries merged in the MC buffer"};
+};
+
+} // namespace silo::log
+
+#endif // SILO_LOG_MORLOG_SCHEME_HH

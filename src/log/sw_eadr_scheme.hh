@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SW-eADR: software write-ahead logging on an eADR machine (§II-C).
+ *
+ * eADR makes the whole cache hierarchy persistent, so persisting a log
+ * entry only requires writing it into the cache — no clwb/sfence. The
+ * paper argues this is still expensive: log entries are appended at
+ * ever-new addresses, so they cannot merge, they occupy cache capacity,
+ * and they evict application data ("cache pollution"). This scheme
+ * implements that design as an ablation point: undo+redo entries are
+ * written through the cache like ordinary data, commit is immediate,
+ * and a crash flushes every dirty line by battery (the Table IV eADR
+ * cost).
+ *
+ * Not part of the paper's Fig. 11/12 comparison (those are ADR
+ * platforms); exercised by the ablation bench.
+ */
+
+#ifndef SILO_LOG_SW_EADR_SCHEME_HH
+#define SILO_LOG_SW_EADR_SCHEME_HH
+
+#include <vector>
+
+#include "log/logging_scheme.hh"
+
+namespace silo::log
+{
+
+/** Software undo+redo WAL with persistent (eADR) caches. */
+class SwEadrScheme : public LoggingScheme
+{
+  public:
+    explicit SwEadrScheme(SchemeContext ctx);
+
+    const char *name() const override { return "SW-eADR"; }
+
+    void txBegin(unsigned core, std::uint16_t txid) override;
+    void store(unsigned core, Addr addr, Word old_val, Word new_val,
+               std::function<void()> done) override;
+    void txEnd(unsigned core, std::function<void()> done) override;
+    void crash() override;
+    bool lastTxCommittedAtCrash(unsigned core) const override;
+    void recover(WordStore &media) override;
+
+    /** Cache accesses spent writing log entries (pollution metric). */
+    std::uint64_t logCacheWrites() const
+    {
+        return _logCacheWrites.value();
+    }
+
+  private:
+    struct CoreState
+    {
+        std::uint16_t txid = 0;
+        bool lastCommitted = false;
+    };
+
+    /**
+     * Write @p record at a fresh log address *through the cache*:
+     * durable immediately (persistent cache), but the log line
+     * competes for cache capacity and later writes back to PM.
+     */
+    void writeLogThroughCache(unsigned core, LogRecord record,
+                              std::function<void()> done);
+
+    std::vector<CoreState> _cores;
+    std::uint64_t _contentStamp = 1;
+    stats::Scalar _logCacheWrites{"sweadr_log_cache_writes",
+        "cache write accesses performed for log entries"};
+};
+
+} // namespace silo::log
+
+#endif // SILO_LOG_SW_EADR_SCHEME_HH

@@ -1,0 +1,43 @@
+#include "log/wal_recovery.hh"
+
+#include <set>
+
+namespace silo::log
+{
+
+void
+walRecover(LogRegionStore &logs, unsigned threads, WordStore &media)
+{
+    for (unsigned t = 0; t < threads; ++t) {
+        auto records = logs.liveRecords(t);
+
+        // Pass 1: find the committed transactions of this thread.
+        std::set<std::uint16_t> committed;
+        for (const auto &[addr, rec] : records) {
+            if (rec.kind == LogRecord::Kind::Commit)
+                committed.insert(rec.txid);
+        }
+
+        // Pass 2: redo committed transactions in log (write) order.
+        for (const auto &[addr, rec] : records) {
+            if (rec.kind == LogRecord::Kind::UndoRedo &&
+                committed.count(rec.txid)) {
+                media.store(rec.dataAddr, rec.newData);
+            }
+        }
+
+        // Pass 3: undo uncommitted transactions in reverse order so a
+        // word's oldest old-value lands last.
+        for (auto it = records.rbegin(); it != records.rend(); ++it) {
+            const auto &rec = it->second;
+            if (rec.kind == LogRecord::Kind::UndoRedo &&
+                !committed.count(rec.txid)) {
+                media.store(rec.dataAddr, rec.oldData);
+            }
+        }
+
+        logs.truncate(t);
+    }
+}
+
+} // namespace silo::log

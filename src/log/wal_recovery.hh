@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared write-ahead-log recovery for the "log as backup" baselines
+ * (Base, FWB, MorLog).
+ *
+ * These schemes persist undo+redo records during execution and a
+ * commit marker at Tx_end. Recovery replays the redo data of committed
+ * transactions in log order and revokes uncommitted transactions with
+ * their undo data in reverse log order.
+ */
+
+#ifndef SILO_LOG_WAL_RECOVERY_HH
+#define SILO_LOG_WAL_RECOVERY_HH
+
+#include "log/log_region.hh"
+#include "sim/word_store.hh"
+
+namespace silo::log
+{
+
+/**
+ * Recover @p media from the live undo+redo records of @p threads
+ * threads in @p logs, then truncate the log.
+ */
+void walRecover(LogRegionStore &logs, unsigned threads,
+                WordStore &media);
+
+} // namespace silo::log
+
+#endif // SILO_LOG_WAL_RECOVERY_HH

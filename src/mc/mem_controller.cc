@@ -1,0 +1,246 @@
+#include "mc/mem_controller.hh"
+
+#include <algorithm>
+
+namespace silo::mc
+{
+
+namespace
+{
+
+/** WPQ forwarding / controller overhead for reads. */
+constexpr Cycles mcForwardCycles = 4;
+
+/** Channel transfer time for one drained entry. */
+Cycles
+transferCycles(unsigned bytes)
+{
+    // 16 B per cycle, minimum 2 cycles of command overhead.
+    return std::max<Cycles>(2, bytes / 16);
+}
+
+} // namespace
+
+MemController::MemController(EventQueue &eq, const SimConfig &cfg,
+                             nvm::PmDevice &pm,
+                             log::LogRegionStore &logs)
+    : _eq(eq), _cfg(cfg), _pm(pm), _logs(logs)
+{
+    _stats.addScalar(_writes);
+    _stats.addScalar(_bytes);
+    _stats.addScalar(_coalesced);
+    _stats.addScalar(_forwards);
+    _stats.addScalar(_reads);
+    _stats.addScalar(_fullStalls);
+}
+
+bool
+MemController::enqueue(WpqEntry &&entry)
+{
+    // Coalesce into an existing same-line, same-disposition entry.
+    for (auto &e : _wpq) {
+        if (e.key == entry.key && e.held == entry.held &&
+            e.logRegion == entry.logRegion) {
+            for (const auto &[idx, value] : entry.words)
+                e.words[idx] = value;
+            e.bytes = std::min<unsigned>(lineBytes,
+                                         e.bytes + entry.bytes);
+            ++_coalesced;
+            return true;
+        }
+    }
+
+    // Two slots stay reserved for log-region writes so that logging
+    // can always make forward progress even when buffered data writes
+    // (e.g., LAD's held lines) fill the queue.
+    unsigned reserve = _cfg.wpqEntries > 8 ? 2 : 0;
+    unsigned limit = entry.logRegion ? _cfg.wpqEntries
+                                     : _cfg.wpqEntries - reserve;
+    if (_wpq.size() >= limit) {
+        ++_fullStalls;
+        return false;
+    }
+
+    if (entry.held)
+        ++_heldCount;
+    ++_writes;
+    _bytes += entry.bytes;
+    _wpq.push_back(std::move(entry));
+    scheduleDrain();
+    return true;
+}
+
+bool
+MemController::tryWriteLine(Addr line_addr,
+                            const std::array<Word, wordsPerLine> &values,
+                            bool evicted, bool held)
+{
+    WpqEntry entry;
+    entry.key = lineAlign(line_addr);
+    entry.pmLine = pmLineAlign(line_addr);
+    entry.bytes = lineBytes;
+    entry.held = held;
+    unsigned base = unsigned((entry.key - entry.pmLine) / wordBytes);
+    for (unsigned w = 0; w < wordsPerLine; ++w)
+        entry.words[base + w] = values[w];
+
+    if (!enqueue(std::move(entry)))
+        return false;
+    if (evicted && _evictionObserver)
+        _evictionObserver(lineAlign(line_addr));
+    return true;
+}
+
+bool
+MemController::tryWriteWord(Addr word_addr, Word value)
+{
+    WpqEntry entry;
+    entry.key = lineAlign(word_addr);
+    entry.pmLine = pmLineAlign(word_addr);
+    entry.bytes = wordBytes;
+    entry.words[unsigned((wordAlign(word_addr) - entry.pmLine) /
+                         wordBytes)] = value;
+    return enqueue(std::move(entry));
+}
+
+bool
+MemController::tryWriteLog(Addr rec_addr, const log::LogRecord &record)
+{
+    WpqEntry entry;
+    entry.key = lineAlign(rec_addr);
+    entry.pmLine = pmLineAlign(rec_addr);
+    entry.logRegion = true;
+    entry.bytes = record.sizeBytes();
+    // Mark every word the record's byte extent touches.
+    Addr first = wordAlign(rec_addr);
+    Addr last = wordAlign(rec_addr + record.sizeBytes() - 1);
+    for (Addr a = first; a <= last; a += wordBytes)
+        entry.words[unsigned((a - entry.pmLine) / wordBytes)] = 0;
+
+    if (!enqueue(std::move(entry)))
+        return false;
+    // Accepted into the ADR domain: the record is durable.
+    _logs.persist(rec_addr, record);
+    return true;
+}
+
+void
+MemController::requestWriteSlot(std::function<void()> cb)
+{
+    _writeWaiters.push_back(std::move(cb));
+}
+
+void
+MemController::notifyWaiters(unsigned count)
+{
+    while (count-- && !_writeWaiters.empty()) {
+        auto cb = std::move(_writeWaiters.front());
+        _writeWaiters.pop_front();
+        cb();
+    }
+}
+
+void
+MemController::releaseHeld(Addr line_addr)
+{
+    Addr key = lineAlign(line_addr);
+    for (auto &e : _wpq) {
+        if (e.held && e.key == key) {
+            e.held = false;
+            --_heldCount;
+        }
+    }
+    scheduleDrain();
+}
+
+void
+MemController::scheduleDrain(Cycles delay)
+{
+    if (_drainScheduled)
+        return;
+    _drainScheduled = true;
+    _eq.scheduleAfter(delay, [this] {
+        _drainScheduled = false;
+        drainOne();
+    }, EventQueue::prioDevice);
+}
+
+void
+MemController::drainOne()
+{
+    // Oldest drainable (non-held) entry first.
+    auto it = std::find_if(_wpq.begin(), _wpq.end(),
+                           [](const WpqEntry &e) { return !e.held; });
+    if (it == _wpq.end())
+        return;
+
+    std::vector<nvm::WordWrite> words;
+    words.reserve(it->words.size());
+    for (const auto &[idx, value] : it->words)
+        words.push_back({idx, value});
+
+    if (!_pm.tryWrite(it->pmLine, words, it->logRegion)) {
+        // Device buffer is saturated; resume when a slot frees.
+        _pm.registerSlotWaiter([this] { scheduleDrain(); });
+        return;
+    }
+
+    Cycles transfer = transferCycles(it->bytes);
+    _wpq.erase(it);
+    notifyWaiters(1);
+    if (!_wpq.empty())
+        scheduleDrain(transfer);
+}
+
+void
+MemController::read(Addr line_addr, std::function<void()> done)
+{
+    Addr key = lineAlign(line_addr);
+    for (const auto &e : _wpq) {
+        if (e.key == key && !e.logRegion) {
+            ++_forwards;
+            _eq.scheduleAfter(mcForwardCycles, std::move(done),
+                              EventQueue::prioDevice);
+            return;
+        }
+    }
+    ++_reads;
+    Tick completion = _pm.read(line_addr) + mcForwardCycles;
+    _eq.schedule(completion, std::move(done), EventQueue::prioDevice);
+}
+
+void
+MemController::applyEntry(const WpqEntry &entry)
+{
+    std::vector<nvm::WordWrite> words;
+    for (const auto &[idx, value] : entry.words)
+        words.push_back({idx, value});
+    // Push through the device buffer so DCW accounting stays uniform,
+    // then let the caller drain the buffer.
+    while (!_pm.tryWrite(entry.pmLine, words, entry.logRegion))
+        _pm.drainAll();
+}
+
+void
+MemController::crashDrain()
+{
+    for (const auto &e : _wpq) {
+        if (!e.held)
+            applyEntry(e);
+    }
+    _wpq.clear();
+    _heldCount = 0;
+    _pm.drainAll();
+}
+
+void
+MemController::drainAll()
+{
+    for (const auto &e : _wpq)
+        applyEntry(e);
+    _wpq.clear();
+    _heldCount = 0;
+    _pm.drainAll();
+}
+
+} // namespace silo::mc

@@ -1,0 +1,136 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace silo::mem
+{
+
+Cache::Cache(const std::string &name, const CacheConfig &cfg)
+    : _cfg(cfg), _stats(name)
+{
+    std::uint64_t lines = cfg.sizeBytes / lineBytes;
+    if (cfg.ways == 0 || lines % cfg.ways != 0)
+        fatal("cache geometry: lines must divide evenly into ways");
+    _numSets = unsigned(lines / cfg.ways);
+    _ways.resize(lines);
+
+    _stats.addScalar(_hits);
+    _stats.addScalar(_misses);
+    _stats.addScalar(_evictions);
+    _stats.addScalar(_dirtyEvictions);
+}
+
+Cache::Way *
+Cache::findWay(Addr line_addr)
+{
+    unsigned set = setOf(line_addr);
+    for (unsigned w = 0; w < _cfg.ways; ++w) {
+        Way &way = _ways[std::size_t(set) * _cfg.ways + w];
+        if (way.valid && way.tag == line_addr)
+            return &way;
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findWay(line_addr);
+}
+
+bool
+Cache::access(Addr line_addr, bool set_dirty)
+{
+    if (Way *way = findWay(line_addr)) {
+        way->lastUse = ++_useClock;
+        way->dirty |= set_dirty;
+        ++_hits;
+        return true;
+    }
+    ++_misses;
+    return false;
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return findWay(line_addr) != nullptr;
+}
+
+bool
+Cache::isDirty(Addr line_addr) const
+{
+    const Way *way = findWay(line_addr);
+    return way && way->dirty;
+}
+
+std::optional<Victim>
+Cache::insert(Addr line_addr, bool dirty)
+{
+    if (findWay(line_addr))
+        panic("inserting a line that is already present");
+
+    unsigned set = setOf(line_addr);
+    Way *target = nullptr;
+    for (unsigned w = 0; w < _cfg.ways; ++w) {
+        Way &way = _ways[std::size_t(set) * _cfg.ways + w];
+        if (!way.valid) {
+            target = &way;
+            break;
+        }
+        if (!target || way.lastUse < target->lastUse)
+            target = &way;
+    }
+
+    std::optional<Victim> victim;
+    if (target->valid) {
+        victim = Victim{target->tag, target->dirty};
+        ++_evictions;
+        if (target->dirty)
+            ++_dirtyEvictions;
+    }
+    target->tag = line_addr;
+    target->valid = true;
+    target->dirty = dirty;
+    target->lastUse = ++_useClock;
+    return victim;
+}
+
+std::optional<Victim>
+Cache::extract(Addr line_addr)
+{
+    if (Way *way = findWay(line_addr)) {
+        Victim v{way->tag, way->dirty};
+        way->valid = false;
+        way->dirty = false;
+        return v;
+    }
+    return std::nullopt;
+}
+
+void
+Cache::clean(Addr line_addr)
+{
+    if (Way *way = findWay(line_addr))
+        way->dirty = false;
+}
+
+std::vector<Addr>
+Cache::dirtyLines() const
+{
+    std::vector<Addr> out;
+    for (const Way &way : _ways) {
+        if (way.valid && way.dirty)
+            out.push_back(way.tag);
+    }
+    return out;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Way &way : _ways)
+        way = Way{};
+}
+
+} // namespace silo::mem

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * One set-associative, write-back, LRU cache level.
+ *
+ * The timing simulator tracks tags and dirty bits only; word values
+ * live in the replay engine's architectural value store (threads never
+ * share lines, so the line's content at eviction time always equals
+ * the owning thread's current values — see core/replay_core.hh).
+ */
+
+#ifndef SILO_MEM_CACHE_HH
+#define SILO_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace silo::mem
+{
+
+/** An evicted line reported by Cache::insert(). */
+struct Victim
+{
+    Addr lineAddr;
+    bool dirty;
+};
+
+/** Tag/dirty state of one set-associative cache level. */
+class Cache
+{
+  public:
+    /**
+     * @param name Stat prefix (e.g., "l1d0").
+     * @param cfg Geometry and latency.
+     */
+    Cache(const std::string &name, const CacheConfig &cfg);
+
+    /** Access latency of this level. */
+    Cycles latency() const { return _cfg.latency; }
+
+    /**
+     * Look up @p line_addr; updates LRU and hit/miss stats.
+     * @param set_dirty Mark the line dirty on a hit.
+     * @return true on hit.
+     */
+    bool access(Addr line_addr, bool set_dirty);
+
+    /** @return true if the line is present (no LRU/stat side effects). */
+    bool contains(Addr line_addr) const;
+
+    /** @return true if present and dirty. */
+    bool isDirty(Addr line_addr) const;
+
+    /**
+     * Insert @p line_addr (must not be present), evicting the LRU way
+     * of its set if full.
+     * @return the evicted victim, if any.
+     */
+    std::optional<Victim> insert(Addr line_addr, bool dirty);
+
+    /**
+     * Remove @p line_addr.
+     * @return the line's state if it was present.
+     */
+    std::optional<Victim> extract(Addr line_addr);
+
+    /** Clear a present line's dirty bit (clwb / force write-back). */
+    void clean(Addr line_addr);
+
+    /** All dirty lines (FWB walker, LAD commit, crash loss checks). */
+    std::vector<Addr> dirtyLines() const;
+
+    /** Drop all contents (crash: volatile caches lose state). */
+    void invalidateAll();
+
+    std::uint64_t hits() const { return _hits.value(); }
+    std::uint64_t misses() const { return _misses.value(); }
+    stats::StatGroup &statGroup() { return _stats; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setOf(Addr line_addr) const
+    {
+        return unsigned((line_addr / lineBytes) % _numSets);
+    }
+
+    Way *findWay(Addr line_addr);
+    const Way *findWay(Addr line_addr) const;
+
+    CacheConfig _cfg;
+    unsigned _numSets;
+    std::vector<Way> _ways;   //!< numSets x associativity
+    std::uint64_t _useClock = 0;
+
+    stats::StatGroup _stats;
+    stats::Scalar _hits{"hits", "demand hits"};
+    stats::Scalar _misses{"misses", "demand misses"};
+    stats::Scalar _evictions{"evictions", "valid lines evicted"};
+    stats::Scalar _dirtyEvictions{"dirty_evictions",
+        "dirty lines evicted"};
+};
+
+} // namespace silo::mem
+
+#endif // SILO_MEM_CACHE_HH

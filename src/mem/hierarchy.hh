@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The three-level cache hierarchy of Table II: private L1D and L2 per
+ * core, shared L3, write-back/write-allocate throughout. Lines move up
+ * on access and trickle down on eviction; only dirty L3 victims reach
+ * the memory controller. When the WPQ is full the victim write-back
+ * stalls the access that caused it — the contention path that throttles
+ * write-heavy logging schemes.
+ */
+
+#ifndef SILO_MEM_HIERARCHY_HH
+#define SILO_MEM_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mc/mc_router.hh"
+#include "mem/cache.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+namespace silo::mem
+{
+
+/** Per-core L1/L2 plus shared L3, backed by the memory controller. */
+class CacheHierarchy
+{
+  public:
+    /** Supplies the current architectural value of a word. */
+    using ValueSource = std::function<Word(Addr)>;
+
+    CacheHierarchy(EventQueue &eq, const SimConfig &cfg,
+                   mc::McRouter &mc, ValueSource values);
+
+    /**
+     * Perform one core access (load or store) to @p addr.
+     * @p done runs when the access completes, including any
+     * write-back back-pressure it incurred.
+     */
+    void access(unsigned core, Addr addr, bool write,
+                std::function<void()> done);
+
+    /**
+     * Write the line's current values to the memory controller and
+     * mark it clean everywhere (clwb semantics; LAD uses @p held).
+     * @p done runs when the write is accepted into the WPQ.
+     */
+    void flushLine(unsigned core, Addr line_addr, bool held,
+                   std::function<void()> done);
+
+    /** @return true if the line is dirty in any level core can reach. */
+    bool isDirty(unsigned core, Addr line_addr) const;
+
+    /** Dirty lines reachable by @p core (its L1/L2 plus shared L3). */
+    std::vector<Addr> dirtyLines(unsigned core) const;
+
+    /** All dirty lines in the system (FWB walker). */
+    std::vector<Addr> allDirtyLines() const;
+
+    /** Drop every cached line (crash: caches are volatile). */
+    void invalidateAll();
+
+    /**
+     * Policy hook (LAD): when set, a dirty L3 victim whose address
+     * satisfies the predicate is enqueued "held" in the WPQ — durable
+     * but not drainable until the owning transaction commits.
+     */
+    void
+    setEvictionHeldPredicate(std::function<bool(Addr)> pred)
+    {
+        _evictionHeld = std::move(pred);
+    }
+
+    Cache &l1(unsigned core) { return *_l1[core]; }
+    Cache &l2(unsigned core) { return *_l2[core]; }
+    Cache &l3() { return *_l3; }
+
+  private:
+    /** Read the eight words of @p line_addr from the value source. */
+    std::array<Word, wordsPerLine> lineValues(Addr line_addr) const;
+
+    /**
+     * Install @p line_addr into L1, cascade victims down, and finish
+     * after @p delay once any dirty L3 victim has a WPQ slot.
+     */
+    void fill(unsigned core, Addr line_addr, bool dirty, Cycles delay,
+              std::function<void()> done);
+
+    /** Retry a write-back until the WPQ accepts it, then @p done. */
+    void writebackWithRetry(Addr line_addr, bool evicted, bool held,
+                            std::function<void()> done);
+
+    EventQueue &_eq;
+    const SimConfig &_cfg;
+    mc::McRouter &_mc;
+    ValueSource _values;
+
+    std::vector<std::unique_ptr<Cache>> _l1;
+    std::vector<std::unique_ptr<Cache>> _l2;
+    std::unique_ptr<Cache> _l3;
+    std::function<bool(Addr)> _evictionHeld;
+};
+
+} // namespace silo::mem
+
+#endif // SILO_MEM_HIERARCHY_HH

@@ -1,0 +1,383 @@
+#include "silo/silo_scheme.hh"
+
+#include <algorithm>
+
+namespace silo::silo_scheme
+{
+
+using log::LogRecord;
+
+SiloScheme::SiloScheme(log::SchemeContext ctx)
+    : LoggingScheme(std::move(ctx)), _cores(_ctx.cfg.numCores)
+{
+    _ctx.mc.setEvictionObserver(
+        [this](Addr line) { onCachelineEvicted(line); });
+}
+
+void
+SiloScheme::txBegin(unsigned core, std::uint16_t txid)
+{
+    CoreState &cs = _cores[core];
+    cs.txid = txid;
+    cs.open = true;
+    cs.lastCommitted = false;
+    cs.txTotalLogs = 0;
+    cs.txAppends = 0;
+}
+
+void
+SiloScheme::onCachelineEvicted(Addr line)
+{
+    // "Once the write pending queue receives an evicted cacheline, the
+    // log controller checks if there are logs that record the updates
+    // in it" — all comparators match the line address in parallel.
+    if (!_ctx.cfg.siloFlushBit || !addr_map::inDataRegion(line))
+        return;
+    unsigned owner = addr_map::dataArenaOwner(line);
+    if (owner >= _cores.size())
+        return;
+    CoreState &cs = _cores[owner];
+    for (auto &e : cs.buffer) {
+        if (!e.committed && !e.flushBit && lineAlign(e.addr) == line) {
+            e.flushBit = true;
+            ++_reduction.flushBitsSet;
+        }
+    }
+}
+
+void
+SiloScheme::writeWordWithRetry(Addr addr, Word value,
+                               std::function<void()> on_accept)
+{
+    if (_ctx.mc.tryWriteWord(addr, value)) {
+        on_accept();
+        return;
+    }
+    _ctx.mc.requestWriteSlot(addr, [this, addr, value,
+                              on_accept = std::move(on_accept)]() mutable {
+        writeWordWithRetry(addr, value, std::move(on_accept));
+    });
+}
+
+void
+SiloScheme::persistThen(Addr addr, LogRecord record,
+                        std::function<void()> after)
+{
+    // A crash may interleave with the retries: the record stays in
+    // _inFlightLogs so the battery can complete it.
+    if (_ctx.mc.tryWriteLog(addr, record)) {
+        _inFlightLogs.erase(addr);
+        after();
+        return;
+    }
+    _ctx.mc.requestWriteSlot(addr, [this, addr, record,
+                              after = std::move(after)]() mutable {
+        persistThen(addr, record, std::move(after));
+    });
+}
+
+void
+SiloScheme::handleOverflow(unsigned core)
+{
+    CoreState &cs = _cores[core];
+    unsigned batch = overflowBatch();
+
+    while (batch > 0 && !cs.buffer.empty()) {
+        // FIFO: evict from the front.
+        LogBufferEntry entry = cs.buffer.front();
+        cs.buffer.pop_front();
+        --batch;
+
+        if (entry.committed) {
+            // Post-commit leftover: its new data still needs to reach
+            // the data region unless a cacheline eviction covered it.
+            if (!entry.flushBit) {
+                ++_reduction.inPlaceUpdates;
+                writeWordWithRetry(entry.addr, entry.newData, [] {});
+            }
+            continue;
+        }
+
+        // Uncommitted entry: flush the undo log to guarantee
+        // atomicity; if the flush-bit is clear, also write the new
+        // data to guarantee durability (§III-F). The new data is
+        // ordered after the undo record's acceptance.
+        ++_reduction.overflows;
+        LogRecord undo;
+        undo.kind = LogRecord::Kind::Undo;
+        undo.tid = std::uint8_t(core);
+        undo.txid = entry.txid;
+        undo.flushBit = true;   // recorded as 1 in the PM log region
+        undo.dataAddr = entry.addr;
+        undo.oldData = entry.oldData;
+
+        bool write_data = !entry.flushBit;
+        Addr rec_addr = _ctx.logs.allocate(core, undo.sizeBytes());
+        ++_stats.logWrites;
+        _stats.logBytes += undo.sizeBytes();
+        _inFlightLogs[rec_addr] = undo;
+        // The new data stays in the battery domain (pendingInPlace)
+        // until the WPQ accepts it — "they are not lost in the log
+        // buffer" (§III-F) — so a crash after the commit but before
+        // this write completes still recovers the word via a redo
+        // flush.
+        PendingUpdate pending{entry.txid, entry.addr, entry.newData};
+        if (write_data)
+            cs.pendingInPlace.push_back(pending);
+        persistThen(rec_addr, undo, [this, core, write_data, pending] {
+            if (!write_data)
+                return;
+            writeWordWithRetry(pending.addr, pending.newData,
+                               [this, core, pending] {
+                auto &staged = _cores[core].pendingInPlace;
+                for (auto p = staged.begin(); p != staged.end(); ++p) {
+                    if (p->addr == pending.addr &&
+                        p->txid == pending.txid) {
+                        staged.erase(p);
+                        break;
+                    }
+                }
+            });
+        });
+    }
+}
+
+void
+SiloScheme::store(unsigned core, Addr addr, Word old_val, Word new_val,
+                  std::function<void()> done)
+{
+    CoreState &cs = _cores[core];
+    ++cs.txTotalLogs;
+
+    // Log ignorance: a store that does not change the word produces no
+    // log entry (§III-C).
+    if (_ctx.cfg.siloLogIgnorance && old_val == new_val) {
+        ++_reduction.ignored;
+        done();
+        return;
+    }
+
+    // Log merging: the 64-bit comparators match the address against
+    // every entry in parallel (§III-C).
+    if (_ctx.cfg.siloLogMerging) {
+        for (auto &e : cs.buffer) {
+            if (!e.committed && e.txid == cs.txid && e.addr == addr) {
+                e.newData = new_val;
+                ++_reduction.merged;
+                done();
+                return;
+            }
+        }
+    }
+
+    LogBufferEntry entry;
+    entry.txid = cs.txid;
+    entry.addr = addr;
+    entry.oldData = old_val;
+    entry.newData = new_val;
+    cs.buffer.push_back(entry);
+    ++cs.txAppends;
+
+    if (cs.buffer.size() > _ctx.cfg.logBufferEntries)
+        handleOverflow(core);
+
+    // Sending the entry to the buffer is off the store's critical path.
+    done();
+}
+
+void
+SiloScheme::drainCommitted(unsigned core)
+{
+    // The log controller reads committed entries out of the buffer at
+    // the buffer's access latency and "simultaneously flushes the new
+    // data" (§III-D): issues are paced by the read latency but do not
+    // wait on each other's WPQ acceptance.
+    CoreState &cs = _cores[core];
+    Cycles delay = 0;
+    for (auto it = cs.buffer.begin(); it != cs.buffer.end();) {
+        if (!it->committed) {
+            ++it;
+            continue;
+        }
+        if (it->flushBit) {
+            // The evicted cacheline already carries this word.
+            it = cs.buffer.erase(it);
+            continue;
+        }
+        // Deallocate the buffer slot; the new data stages in the
+        // battery domain until the ADR queue accepts it.
+        PendingUpdate pending{it->txid, it->addr, it->newData};
+        it = cs.buffer.erase(it);
+        cs.pendingInPlace.push_back(pending);
+        ++_reduction.inPlaceUpdates;
+        delay += _ctx.cfg.logBufferLatency;
+        _ctx.eq.scheduleAfter(delay, [this, core, pending] {
+            writeWordWithRetry(pending.addr, pending.newData,
+                               [this, core, pending] {
+                auto &staged = _cores[core].pendingInPlace;
+                for (auto p = staged.begin(); p != staged.end(); ++p) {
+                    if (p->addr == pending.addr &&
+                        p->txid == pending.txid) {
+                        staged.erase(p);
+                        break;
+                    }
+                }
+            });
+        });
+    }
+}
+
+void
+SiloScheme::txEnd(unsigned core, std::function<void()> done)
+{
+    CoreState &cs = _cores[core];
+
+    _reduction.totalLogsPerTx.sample(double(cs.txTotalLogs));
+    _reduction.remainingLogsPerTx.sample(double(cs.txAppends));
+    _reduction.maxRemainingLogs =
+        std::max(_reduction.maxRemainingLogs, cs.txAppends);
+
+    // Commit: the log generator notifies the log controller; once the
+    // ACK returns, Tx_end completes — no PM write is on this path
+    // (§III-D). The commit state change is atomic with the ACK.
+    _ctx.eq.scheduleAfter(_ctx.cfg.commitAckCycles,
+                          [this, core, done = std::move(done)] {
+        CoreState &cs2 = _cores[core];
+        for (auto &e : cs2.buffer) {
+            if (e.txid == cs2.txid)
+                e.committed = true;
+        }
+        cs2.open = false;
+        cs2.lastCommitted = true;
+        // Overflowed undo logs of this transaction are obsolete: the
+        // log truncates via the on-chip head register (no PM write).
+        _ctx.logs.truncate(core);
+        drainCommitted(core);
+        done();
+    });
+}
+
+void
+SiloScheme::crash()
+{
+    // Battery-backed selective log flushing (§III-G).
+    std::set<std::pair<std::uint8_t, std::uint16_t>> committed_ids;
+
+    for (unsigned core = 0; core < _cores.size(); ++core) {
+        CoreState &cs = _cores[core];
+        for (const auto &e : cs.buffer) {
+            if (!e.committed) {
+                // Uncommitted: flush the undo log to revoke partial
+                // updates; the new data is discarded on chip.
+                LogRecord undo;
+                undo.kind = LogRecord::Kind::Undo;
+                undo.tid = std::uint8_t(core);
+                undo.txid = e.txid;
+                undo.flushBit = true;
+                undo.dataAddr = e.addr;
+                undo.oldData = e.oldData;
+                Addr a = _ctx.logs.allocate(core, undo.sizeBytes());
+                _ctx.logs.persist(a, undo);
+                _stats.crashFlushBytes += undo.sizeBytes();
+            } else if (!e.flushBit) {
+                // Committed but not yet in-place updated: flush the
+                // redo log so recovery can replay it.
+                LogRecord redo;
+                redo.kind = LogRecord::Kind::Redo;
+                redo.tid = std::uint8_t(core);
+                redo.txid = e.txid;
+                redo.flushBit = false;
+                redo.dataAddr = e.addr;
+                redo.newData = e.newData;
+                Addr a = _ctx.logs.allocate(core, redo.sizeBytes());
+                _ctx.logs.persist(a, redo);
+                _stats.crashFlushBytes += redo.sizeBytes();
+                committed_ids.insert({std::uint8_t(core), e.txid});
+            }
+        }
+        cs.buffer.clear();
+
+        // Staged in-place updates whose WPQ write had not been
+        // accepted: committed transactions need a redo flush; for
+        // uncommitted ones (overflow path) the undo log covers
+        // atomicity and the new data is simply discarded.
+        for (const auto &p : cs.pendingInPlace) {
+            bool committed = p.txid < cs.txid ||
+                             (p.txid == cs.txid && !cs.open);
+            if (!committed)
+                continue;
+            LogRecord redo;
+            redo.kind = LogRecord::Kind::Redo;
+            redo.tid = std::uint8_t(core);
+            redo.txid = p.txid;
+            redo.flushBit = false;
+            redo.dataAddr = p.addr;
+            redo.newData = p.newData;
+            Addr a = _ctx.logs.allocate(core, redo.sizeBytes());
+            _ctx.logs.persist(a, redo);
+            _stats.crashFlushBytes += redo.sizeBytes();
+            committed_ids.insert({std::uint8_t(core), p.txid});
+        }
+        cs.pendingInPlace.clear();
+    }
+
+    // One ID tuple per committed transaction with flushed redo logs.
+    for (const auto &[tid, txid] : committed_ids) {
+        LogRecord tuple;
+        tuple.kind = LogRecord::Kind::IdTuple;
+        tuple.tid = tid;
+        tuple.txid = txid;
+        Addr a = _ctx.logs.allocate(tid, tuple.sizeBytes());
+        _ctx.logs.persist(a, tuple);
+        _stats.crashFlushBytes += tuple.sizeBytes();
+    }
+
+    // Overflow undo records whose MC write was still in flight are
+    // durable in the MC's ADR log path; complete them.
+    flushInFlightLogs();
+}
+
+bool
+SiloScheme::lastTxCommittedAtCrash(unsigned core) const
+{
+    return _cores[core].lastCommitted;
+}
+
+void
+SiloScheme::recover(WordStore &media)
+{
+    for (unsigned t = 0; t < _ctx.cfg.numCores; ++t) {
+        auto records = _ctx.logs.liveRecords(t);
+
+        // The ID tuples name the committed transactions (§III-G).
+        std::set<std::uint16_t> committed;
+        for (const auto &[addr, rec] : records) {
+            if (rec.kind == LogRecord::Kind::IdTuple)
+                committed.insert(rec.txid);
+        }
+
+        // Committed: replay redo logs (flush-bit 0) in write order.
+        // Overflowed undo logs of committed transactions carry
+        // flush-bit 1 and are discarded.
+        for (const auto &[addr, rec] : records) {
+            if (committed.count(rec.txid) && !rec.flushBit &&
+                rec.kind == LogRecord::Kind::Redo) {
+                media.store(rec.dataAddr, rec.newData);
+            }
+        }
+
+        // Uncommitted: revoke partial updates with the undo logs, in
+        // reverse write order so the oldest value lands last.
+        for (auto it = records.rbegin(); it != records.rend(); ++it) {
+            const LogRecord &rec = it->second;
+            if (!committed.count(rec.txid) &&
+                rec.kind == LogRecord::Kind::Undo) {
+                media.store(rec.dataAddr, rec.oldData);
+            }
+        }
+
+        _ctx.logs.truncate(t);
+    }
+}
+
+} // namespace silo::silo_scheme

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Silo: speculative hardware logging with the "Log as Data" idea (§III).
+ *
+ * Per core, a small battery-backed log buffer in the memory controller
+ * holds the undo+redo entries of the running transaction:
+ *
+ *  - The L1D log generator ignores silent stores (log ignorance) and
+ *    the log controller merges same-word entries via the per-entry
+ *    comparators (log merging, §III-C).
+ *  - When the WPQ receives an evicted cacheline, matching entries'
+ *    flush-bits are set — their new data need not be written again
+ *    (§III-D).
+ *  - Tx_end completes after an on-chip ACK round trip (a few cycles):
+ *    no logs or cachelines are forced to PM. After commit the new data
+ *    in the buffer in-place update the PM data region in the
+ *    background, one word per buffer-access latency (§III-D/E).
+ *  - Overflow evicts batches of undo logs (N = ⌊S/18⌋) to the per-
+ *    thread log area and simultaneously writes the new data (§III-F).
+ *  - On a crash, the battery selectively flushes undo logs of
+ *    uncommitted transactions or redo logs + an ID tuple of committed
+ *    ones (§III-G); recovery revokes or replays accordingly.
+ */
+
+#ifndef SILO_SILO_SILO_SCHEME_HH
+#define SILO_SILO_SILO_SCHEME_HH
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "log/logging_scheme.hh"
+
+namespace silo::silo_scheme
+{
+
+/** One entry of the battery-backed per-core log buffer (Fig. 6). */
+struct LogBufferEntry
+{
+    bool flushBit = false;
+    std::uint16_t txid = 0;
+    Addr addr = 0;         //!< word-aligned data address
+    Word oldData = 0;
+    Word newData = 0;
+    bool committed = false;
+};
+
+/** Per-transaction log statistics behind Fig. 13. */
+struct LogReductionStats
+{
+    stats::Average totalLogsPerTx{"total_logs",
+        "log entries a transaction would produce without reduction"};
+    stats::Average remainingLogsPerTx{"remaining_logs",
+        "entries remaining after ignorance and merging"};
+    stats::Scalar ignored{"ignored", "silent stores not logged"};
+    stats::Scalar merged{"merged", "entries merged by the comparators"};
+    stats::Scalar flushBitsSet{"flush_bits",
+        "entries whose flush-bit was set by a cacheline eviction"};
+    stats::Scalar overflows{"overflow_evictions",
+        "entries evicted to the PM log region on overflow"};
+    stats::Scalar inPlaceUpdates{"in_place_updates",
+        "post-commit new-data words written to the data region"};
+    std::uint64_t maxRemainingLogs = 0;
+};
+
+/** The Silo logging scheme. */
+class SiloScheme : public log::LoggingScheme
+{
+  public:
+    explicit SiloScheme(log::SchemeContext ctx);
+
+    const char *name() const override { return "Silo"; }
+
+    void txBegin(unsigned core, std::uint16_t txid) override;
+    void store(unsigned core, Addr addr, Word old_val, Word new_val,
+               std::function<void()> done) override;
+    void txEnd(unsigned core, std::function<void()> done) override;
+    void crash() override;
+    bool lastTxCommittedAtCrash(unsigned core) const override;
+    void recover(WordStore &media) override;
+
+    const LogReductionStats &reductionStats() const
+    {
+        return _reduction;
+    }
+
+    /** Buffer occupancy of @p core (test hook). */
+    std::size_t bufferOccupancy(unsigned core) const
+    {
+        return _cores[core].buffer.size();
+    }
+
+  private:
+    /** A committed new-data word on its way to the data region. */
+    struct PendingUpdate
+    {
+        std::uint16_t txid;
+        Addr addr;
+        Word newData;
+    };
+
+    struct CoreState
+    {
+        std::uint16_t txid = 0;
+        bool open = false;
+        bool lastCommitted = false;
+        std::deque<LogBufferEntry> buffer;   //!< battery-backed FIFO
+        /**
+         * Committed entries leave the buffer at commit ("the entries
+         * in log buffer are deallocated to serve the next
+         * transaction", §III-B) and stage here — still inside the
+         * controller's battery domain — until the WPQ accepts their
+         * in-place update.
+         */
+        std::vector<PendingUpdate> pendingInPlace;
+        /** Fig. 13 per-transaction counters. */
+        std::uint64_t txTotalLogs = 0;
+        std::uint64_t txAppends = 0;
+    };
+
+    /** Overflow batch size N = ⌊S / 18⌋ (§III-F). */
+    unsigned overflowBatch() const
+    {
+        return _ctx.cfg.onPmBufferLineBytes / undoLogEntryBytes;
+    }
+
+    /** Evict a batch of undo logs to the log region (§III-F). */
+    void handleOverflow(unsigned core);
+
+    /** Background in-place updates of a committed tx's new data. */
+    void drainCommitted(unsigned core);
+
+    /** Write @p value at @p addr via the MC, retrying on a full WPQ. */
+    void writeWordWithRetry(Addr addr, Word value,
+                            std::function<void()> on_accept);
+
+    /**
+     * Persist a log record via the MC (retrying on a full WPQ), run
+     * @p after once it is durable. The record is remembered until
+     * accepted so the battery can still flush it if a crash
+     * interleaves with the retries.
+     */
+    void persistThen(Addr addr, log::LogRecord record,
+                     std::function<void()> after);
+
+    /** The MC eviction hook: set flush-bits of matching entries. */
+    void onCachelineEvicted(Addr line);
+
+    std::vector<CoreState> _cores;
+    LogReductionStats _reduction;
+};
+
+} // namespace silo::silo_scheme
+
+#endif // SILO_SILO_SILO_SCHEME_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Physical address-space layout of the simulated machine.
+ *
+ * The paper's setup gives each thread its own persistent structures and a
+ * distributed per-thread log area (§III-B "Log Region"), so the address
+ * space is partitioned: thread-private data arenas in the PM data region
+ * and thread-private log areas in the PM log region. The partition also
+ * guarantees replayed traces never race on values across threads.
+ */
+
+#ifndef SILO_SIM_ADDRESS_MAP_HH
+#define SILO_SIM_ADDRESS_MAP_HH
+
+#include "sim/types.hh"
+
+namespace silo
+{
+
+/** Partitioned PM address map. */
+namespace addr_map
+{
+
+/** Base of the PM data region. */
+constexpr Addr dataRegionBase = 0x10'0000'0000ULL;
+
+/** Bytes of data arena reserved per thread (256 MB). */
+constexpr Addr dataArenaBytes = 0x1000'0000ULL;
+
+/** Base of the PM log region. */
+constexpr Addr logRegionBase = 0x70'0000'0000ULL;
+
+/** Bytes of log area reserved per thread (16 MB). */
+constexpr Addr logAreaBytes = 0x100'0000ULL;
+
+/** @return base of thread @p tid 's data arena. */
+constexpr Addr
+dataArenaBase(unsigned tid)
+{
+    return dataRegionBase + Addr(tid) * dataArenaBytes;
+}
+
+/** @return base of thread @p tid 's log area. */
+constexpr Addr
+logAreaBase(unsigned tid)
+{
+    return logRegionBase + Addr(tid) * logAreaBytes;
+}
+
+/** @return true if @p addr falls inside the PM data region. */
+constexpr bool
+inDataRegion(Addr addr)
+{
+    return addr >= dataRegionBase && addr < logRegionBase;
+}
+
+/** @return true if @p addr falls inside the PM log region. */
+constexpr bool
+inLogRegion(Addr addr)
+{
+    return addr >= logRegionBase;
+}
+
+/** @return owning thread of a data-region address. */
+constexpr unsigned
+dataArenaOwner(Addr addr)
+{
+    return unsigned((addr - dataRegionBase) / dataArenaBytes);
+}
+
+} // namespace addr_map
+
+} // namespace silo
+
+#endif // SILO_SIM_ADDRESS_MAP_HH

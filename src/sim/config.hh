@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Simulated-system configuration (defaults follow Table II of the paper).
+ *
+ * One SimConfig fully describes a system: core count, cache geometry,
+ * memory-controller queues, PM device timing, and the knobs each logging
+ * scheme exposes. The experiment harness mutates copies of the default
+ * config to drive parameter sweeps (e.g., Fig. 15's log-buffer latency).
+ */
+
+#ifndef SILO_SIM_CONFIG_HH
+#define SILO_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace silo
+{
+
+/** Which atomic-durability design the memory system implements. */
+enum class SchemeKind
+{
+    None,       //!< no durability mechanism (raw memory system)
+    Base,       //!< flush undo+redo log + updated cacheline per store
+    Fwb,        //!< hardware undo+redo with force-write-back (FWB)
+    MorLog,     //!< morphable logging with on-chip merge buffer
+    Lad,        //!< logless atomic durability (LAD)
+    Silo,       //!< this paper: speculative "log as data" logging
+    SwEadr,     //!< software WAL on an eADR (persistent-cache) machine
+};
+
+/** @return short display name used in report tables. */
+inline const char *
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::None: return "None";
+      case SchemeKind::Base: return "Base";
+      case SchemeKind::Fwb: return "FWB";
+      case SchemeKind::MorLog: return "MorLog";
+      case SchemeKind::Lad: return "LAD";
+      case SchemeKind::Silo: return "Silo";
+      case SchemeKind::SwEadr: return "SW-eADR";
+    }
+    panic("unknown scheme kind");
+}
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes;
+    unsigned ways;
+    Cycles latency;
+};
+
+/** Full system configuration. */
+struct SimConfig
+{
+    // --- Processor (Table II) ---
+    unsigned numCores = 8;
+    double coreGhz = 2.0;
+    /** Fixed non-memory cost charged per replayed operation. */
+    Cycles opOverheadCycles = 1;
+
+    CacheConfig l1d{32 * 1024, 8, 4};
+    CacheConfig l2{256 * 1024, 8, 12};
+    CacheConfig l3{8 * 1024 * 1024, 16, 28};
+
+    // --- Memory controller (Table II) ---
+    /** Memory controllers; >1 exercises §III-D's multi-MC routing. */
+    unsigned numMemControllers = 1;
+    unsigned wpqEntries = 64;        //!< write pending queue, ADR domain
+
+    // --- Persistent memory (Table II) ---
+    Cycles pmReadCycles = cyclesFromNs(50.0);    //!< 50 ns
+    Cycles pmWriteCycles = cyclesFromNs(150.0);  //!< 150 ns
+    /**
+     * Bank occupancy of one read. PCM reads are non-destructive
+     * sensing and pipeline behind one another, while writes hold the
+     * bank for the full programming pulse; a read therefore blocks its
+     * bank for less than its own latency.
+     */
+    Cycles pmReadOccupancyCycles = 8;
+    /**
+     * Media write cost model: a buffer-line write-back occupies its
+     * bank for pmWriteBaseCycles plus pmWritePerWordCycles per word
+     * that actually programs (after DCW). The per-word term models the
+     * PCM write-driver power budget, which limits how many bits one
+     * bank programs in parallel; it is what couples media write
+     * traffic to throughput (Figs. 11 vs 12).
+     */
+    Cycles pmWriteBaseCycles = 20;
+    Cycles pmWritePerWordCycles = 360;
+    unsigned pmBanks = 64;
+    unsigned onPmBufferLines = 32;               //!< 256 B lines (§III-E)
+    unsigned onPmBufferLineBytes = pmBufferLineBytes;
+
+    // --- Logging scheme ---
+    SchemeKind scheme = SchemeKind::Silo;
+
+    /** Silo / MorLog: per-core on-chip log buffer capacity (entries). */
+    unsigned logBufferEntries = 20;
+    /** Silo: log buffer access latency in cycles (Fig. 15 sweep). */
+    Cycles logBufferLatency = 8;
+    /** Silo: on-chip ACK round trip for Tx_end (§III-D, "several cycles"). */
+    Cycles commitAckCycles = 4;
+    /** @name Silo ablation switches (DESIGN.md design choices)
+     *  Disable individual reduction mechanisms to quantify their
+     *  contribution (the ablation bench sweeps these). */
+    /// @{
+    bool siloLogIgnorance = true;   //!< §III-C silent-store filter
+    bool siloLogMerging = true;     //!< §III-C comparator merging
+    bool siloFlushBit = true;       //!< §III-D eviction flush-bits
+    /// @}
+    /** FWB: force-write-back interval in cycles (§VI-A). */
+    Cycles fwbIntervalCycles = 3'000'000;
+    /** LAD: MC slots for buffered uncommitted cachelines. */
+    unsigned ladMcEntries = 64;
+    /** LAD: per-line issue spacing of the commit phase-1 flush. */
+    Cycles ladFlushPerLineCycles = 160;
+
+
+    /** Sanity-check the configuration; fatal() on nonsense values. */
+    void
+    validate() const
+    {
+        if (numCores == 0 || numCores > 255)
+            fatal("numCores must be in [1, 255]");
+        if (wpqEntries == 0)
+            fatal("wpqEntries must be positive");
+        if (logBufferEntries == 0)
+            fatal("logBufferEntries must be positive");
+        if (onPmBufferLineBytes % lineBytes != 0)
+            fatal("on-PM buffer line must be a multiple of 64B");
+    }
+};
+
+} // namespace silo
+
+#endif // SILO_SIM_CONFIG_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * Components schedule callbacks at absolute ticks. Events scheduled for
+ * the same tick execute in (priority, insertion order), which keeps every
+ * simulation bit-for-bit reproducible across runs — a requirement for the
+ * crash-injection property tests, which replay a run up to an arbitrary
+ * event index.
+ */
+
+#ifndef SILO_SIM_EVENT_QUEUE_HH
+#define SILO_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace silo
+{
+
+/**
+ * The central event queue driving a simulated system.
+ *
+ * Single-threaded by design: the simulated hardware is concurrent, the
+ * simulator is not.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Event priorities; lower runs first within a tick. */
+    enum Priority : int
+    {
+        prioDevice = -10,   //!< memory devices complete first
+        prioDefault = 0,
+        prioCore = 10,      //!< cores observe completed hardware state
+    };
+
+    /** Current simulated time (tick of the last executed event). */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb at absolute time @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb, int priority = prioDefault)
+    {
+        if (when < _now)
+            when = _now;
+        _heap.push(Scheduled{when, priority, _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void
+    scheduleAfter(Cycles delta, Callback cb, int priority = prioDefault)
+    {
+        schedule(_now + delta, std::move(cb), priority);
+    }
+
+    /** @return true if no events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of events executed so far. */
+    std::uint64_t executedEvents() const { return _executed; }
+
+    /** Ask the run loop to stop after the current event (crash inject). */
+    void requestStop() { _stopRequested = true; }
+
+    /** Allow running again after a stop (post-run settling). */
+    void clearStop() { _stopRequested = false; }
+
+    /**
+     * Execute events whose time is at most @p limit.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    runUntil(Tick limit)
+    {
+        std::uint64_t n = 0;
+        while (!_stopRequested && !_heap.empty() &&
+               _heap.top().when <= limit && runNext()) {
+            ++n;
+        }
+        return n;
+    }
+
+    /** @return true once requestStop() has been called. */
+    bool stopRequested() const { return _stopRequested; }
+
+    /**
+     * Execute the next event.
+     * @return false if the queue was empty.
+     */
+    bool
+    runNext()
+    {
+        if (_heap.empty())
+            return false;
+        // Move the callback out before popping so it can reschedule.
+        Scheduled ev = _heap.top();
+        _heap.pop();
+        _now = ev.when;
+        ++_executed;
+        ev.callback();
+        return true;
+    }
+
+    /**
+     * Run until the queue drains, a stop is requested, or @p max_events
+     * more events have executed.
+     * @return number of events executed by this call.
+     */
+    std::uint64_t
+    run(std::uint64_t max_events = ~std::uint64_t(0))
+    {
+        std::uint64_t n = 0;
+        while (n < max_events && !_stopRequested && runNext())
+            ++n;
+        return n;
+    }
+
+    /** Drop all pending events and reset time (used between experiments). */
+    void
+    reset()
+    {
+        _heap = {};
+        _now = 0;
+        _executed = 0;
+        _nextSeq = 0;
+        _stopRequested = false;
+    }
+
+  private:
+    struct Scheduled
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Scheduled &a, const Scheduled &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Scheduled, std::vector<Scheduled>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _executed = 0;
+    std::uint64_t _nextSeq = 0;
+    bool _stopRequested = false;
+};
+
+} // namespace silo
+
+#endif // SILO_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for internal simulator bugs (aborts); fatal() is for user
+ * configuration errors (clean exit); warn()/inform() report conditions
+ * without stopping the simulation.
+ */
+
+#ifndef SILO_SIM_LOGGING_HH
+#define SILO_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace silo
+{
+
+/** Thrown by panic(); tests catch it instead of aborting the process. */
+struct PanicError : std::logic_error
+{
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(); configuration errors the caller can report. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Report an internal invariant violation (a simulator bug).
+ * @param msg Description of what should never have happened.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+/**
+ * Report an unusable user configuration.
+ * @param msg Description of the configuration problem.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+/** Alert the user to questionable but survivable behaviour. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Emit a purely informational status message. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace silo
+
+#endif // SILO_SIM_LOGGING_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Workload generators and the crash injector need a fast generator whose
+ * streams are reproducible from a seed and independent per thread; the
+ * standard library engines are not guaranteed stable across platforms.
+ */
+
+#ifndef SILO_SIM_RNG_HH
+#define SILO_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace silo
+{
+
+/** xoshiro256** by Blackman & Vigna; public-domain reference algorithm. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so nearby seeds give unrelated streams. */
+    explicit Rng(std::uint64_t seed = 0x5117e57a9e5eedULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : _state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound) (bound > 0); unbiased enough here. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _state[4];
+};
+
+} // namespace silo
+
+#endif // SILO_SIM_RNG_HH

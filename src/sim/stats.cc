@@ -1,0 +1,34 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace silo::stats
+{
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    auto emit = [&](const std::string &stat, double value,
+                    const std::string &desc) {
+        os << std::left << std::setw(44)
+           << (_name.empty() ? stat : _name + "." + stat)
+           << std::right << std::setw(16) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << '\n';
+    };
+
+    for (const auto *s : _scalars)
+        emit(s->name(), double(s->value()), s->desc());
+    for (const auto *a : _averages) {
+        emit(a->name() + ".mean", a->mean(), a->desc());
+        emit(a->name() + ".count", double(a->count()), "");
+    }
+    for (const auto *d : _distributions) {
+        emit(d->name() + ".mean", d->summary().mean(), d->desc());
+        emit(d->name() + ".max", d->summary().maximum(), "");
+        emit(d->name() + ".count", double(d->summary().count()), "");
+    }
+}
+
+} // namespace silo::stats

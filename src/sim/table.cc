@@ -1,0 +1,54 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace silo
+{
+
+std::string
+TablePrinter::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    // Column widths across header + all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(_header);
+    for (const auto &r : _rows)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << (i ? "  " : "") << cell
+               << std::string(widths[i] - cell.size(), ' ');
+        }
+        os << '\n';
+    };
+
+    os << "== " << _title << " ==\n";
+    if (!_header.empty()) {
+        emit(_header);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto &r : _rows)
+        emit(r);
+    os.flush();
+}
+
+} // namespace silo

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table formatting for experiment reports.
+ *
+ * The bench binaries print one paper-style table each (e.g., Fig. 11's
+ * normalized write traffic); TablePrinter keeps the formatting in one
+ * place so all reports align and round identically.
+ */
+
+#ifndef SILO_SIM_TABLE_HH
+#define SILO_SIM_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace silo
+{
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class TablePrinter
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TablePrinter(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        _header = std::move(cells);
+    }
+
+    /** Append a data row. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        _rows.push_back(std::move(cells));
+    }
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string num(double v, int digits = 3);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace silo
+
+#endif // SILO_SIM_TABLE_HH

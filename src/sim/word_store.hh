@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A sparse, word-granular value store.
+ *
+ * Used as the functional memory behind trace generation, as the PM
+ * media image in the NVM device, and as the architectural value map in
+ * the replay cores. Unwritten words read as zero, matching a zero-filled
+ * device.
+ */
+
+#ifndef SILO_SIM_WORD_STORE_HH
+#define SILO_SIM_WORD_STORE_HH
+
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace silo
+{
+
+/** Sparse map from word-aligned address to word value. */
+class WordStore
+{
+  public:
+    /** Read the word at @p addr; zero if never written. */
+    Word
+    load(Addr addr) const
+    {
+        auto it = _words.find(checkAligned(addr));
+        return it == _words.end() ? 0 : it->second;
+    }
+
+    /** Write @p value at @p addr. */
+    void
+    store(Addr addr, Word value)
+    {
+        _words[checkAligned(addr)] = value;
+    }
+
+    /** Number of distinct words ever written. */
+    std::size_t footprintWords() const { return _words.size(); }
+
+    /** Direct access for snapshotting / comparison. */
+    const std::unordered_map<Addr, Word> &words() const { return _words; }
+
+    /** Bulk-load an image (e.g., the workload's initial memory). */
+    void
+    loadImage(const std::unordered_map<Addr, Word> &image)
+    {
+        for (const auto &[addr, value] : image)
+            _words[addr] = value;
+    }
+
+  private:
+    static Addr
+    checkAligned(Addr addr)
+    {
+        if (addr % wordBytes != 0)
+            panic("unaligned word access");
+        return addr;
+    }
+
+    std::unordered_map<Addr, Word> _words;
+};
+
+} // namespace silo
+
+#endif // SILO_SIM_WORD_STORE_HH

@@ -1,0 +1,52 @@
+#include "workload/array_workload.hh"
+
+namespace silo::workload
+{
+
+namespace
+{
+
+/** Payload pattern shared by all elements (makes most swaps silent). */
+constexpr Word commonPattern = 0xC0FFEE0000C0FFEEULL;
+
+} // namespace
+
+void
+ArrayWorkload::setup(MemClient &mem, PmHeap &heap, Rng &)
+{
+    _base = heap.allocLines(_numElements);
+    for (unsigned i = 0; i < _numElements; ++i) {
+        mem.store(elem(i), Word(i) + 1);
+        for (unsigned w = 1; w < wordsPerLine; ++w)
+            mem.store(elem(i) + w * wordBytes, commonPattern);
+    }
+}
+
+void
+ArrayWorkload::swap(MemClient &mem, unsigned i, unsigned j)
+{
+    for (unsigned w = 0; w < wordsPerLine; ++w) {
+        Addr ai = elem(i) + w * wordBytes;
+        Addr aj = elem(j) + w * wordBytes;
+        Word vi = mem.load(ai);
+        Word vj = mem.load(aj);
+        mem.store(ai, vj);
+        mem.store(aj, vi);
+    }
+}
+
+void
+ArrayWorkload::transaction(MemClient &mem, PmHeap &, Rng &rng)
+{
+    // Two independent random swaps per transaction; only the id word of
+    // each element differs, so 28 of the 32 stores are silent.
+    for (int pair = 0; pair < 2; ++pair) {
+        unsigned i = unsigned(rng.below(_numElements));
+        unsigned j = unsigned(rng.below(_numElements));
+        if (i == j)
+            j = (j + 1) % _numElements;
+        swap(mem, i, j);
+    }
+}
+
+} // namespace silo::workload

@@ -1,0 +1,48 @@
+#include "workload/bank_workload.hh"
+
+namespace silo::workload
+{
+
+void
+BankWorkload::setup(MemClient &mem, PmHeap &heap, Rng &)
+{
+    _accounts = heap.alloc(Addr(_numAccounts) * accountWords * wordBytes,
+                           lineBytes);
+    for (unsigned a = 0; a < _numAccounts; ++a)
+        mem.store(account(a), _initialBalance);
+}
+
+void
+BankWorkload::transaction(MemClient &mem, PmHeap &, Rng &rng)
+{
+    unsigned from = unsigned(rng.below(_numAccounts));
+    unsigned to = unsigned(rng.below(_numAccounts));
+    if (from == to)
+        to = (to + 1) % _numAccounts;
+
+    Word from_bal = mem.load(account(from));
+    Word amount = from_bal ? rng.range(1, from_bal) : 0;
+
+    mem.store(account(from), from_bal - amount);
+    mem.store(account(to), mem.load(account(to)) + amount);
+    mem.store(account(from) + wordBytes, _stamp);
+    mem.store(account(to) + wordBytes, _stamp);
+    ++_stamp;
+}
+
+Word
+BankWorkload::balance(MemClient &mem, unsigned a) const
+{
+    return mem.load(account(a));
+}
+
+Word
+BankWorkload::totalBalance(MemClient &mem) const
+{
+    Word total = 0;
+    for (unsigned a = 0; a < _numAccounts; ++a)
+        total += mem.load(account(a));
+    return total;
+}
+
+} // namespace silo::workload

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bank benchmark: money transfers between accounts, the banking
+ * application the paper uses for Fig. 4's write-size characterization.
+ *
+ * Each transfer debits one account and credits another and stamps both
+ * rows' audit words — four word writes, one of the smallest transaction
+ * write sets in the suite. The sum of balances is a global invariant
+ * the crash-recovery tests check.
+ */
+
+#ifndef SILO_WORKLOAD_BANK_WORKLOAD_HH
+#define SILO_WORKLOAD_BANK_WORKLOAD_HH
+
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** Random transfers across a PM account table. */
+class BankWorkload : public Workload
+{
+  public:
+    explicit BankWorkload(unsigned num_accounts = 65536,
+                          Word initial_balance = 1000)
+        : _numAccounts(num_accounts), _initialBalance(initial_balance)
+    {}
+
+    const char *name() const override { return "Bank"; }
+    void setup(MemClient &mem, PmHeap &heap, Rng &rng) override;
+    void transaction(MemClient &mem, PmHeap &heap, Rng &rng) override;
+
+    /** Balance of @p account (test hook). */
+    Word balance(MemClient &mem, unsigned account) const;
+
+    /** Sum of all balances (test hook; the conserved quantity). */
+    Word totalBalance(MemClient &mem) const;
+
+    unsigned numAccounts() const { return _numAccounts; }
+
+  private:
+    // Account: [0] balance, [1] last_txn_stamp, [2..3] filler.
+    static constexpr unsigned accountWords = 4;
+
+    Addr account(unsigned a) const
+    {
+        return _accounts + Addr(a) * accountWords * wordBytes;
+    }
+
+    unsigned _numAccounts;
+    Word _initialBalance;
+    std::uint64_t _stamp = 1;
+    Addr _accounts = 0;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_BANK_WORKLOAD_HH

@@ -1,0 +1,173 @@
+#include "workload/btree_workload.hh"
+
+#include "sim/logging.hh"
+
+namespace silo::workload
+{
+
+Addr
+BtreeWorkload::allocNode(MemClient &mem, PmHeap &heap, bool leaf)
+{
+    // 24 words = 192 B, rounded to 3 cachelines. Fresh arena memory reads
+    // as zero, so only non-zero fields need initialization.
+    Addr node = heap.allocLines(3);
+    mem.store(field(node, offIsLeaf), leaf ? 1 : 0);
+    return node;
+}
+
+void
+BtreeWorkload::setup(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    _rootPtr = heap.alloc(wordBytes);
+    Addr root = allocNode(mem, heap, true);
+    mem.store(_rootPtr, root);
+    // Pre-populate so transactions exercise a realistic tree depth.
+    for (unsigned i = 0; i < _prepopulate; ++i) {
+        std::uint64_t key = rng.below(_keySpace) + 1;
+        Word value = rng.next() | 1;
+        insert(mem, heap, key, value);
+    }
+}
+
+void
+BtreeWorkload::transaction(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    std::uint64_t key = rng.below(_keySpace) + 1;
+    Word value = rng.next() | 1;
+    insert(mem, heap, key, value);
+}
+
+void
+BtreeWorkload::insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                      Word value)
+{
+    Addr root = mem.load(_rootPtr);
+    if (mem.load(field(root, offCount)) == maxKeys) {
+        Addr new_root = allocNode(mem, heap, false);
+        mem.store(field(new_root, offKids), root);
+        splitChild(mem, heap, new_root, 0, root);
+        mem.store(_rootPtr, new_root);
+        root = new_root;
+    }
+    insertNonFull(mem, heap, root, key, value);
+}
+
+void
+BtreeWorkload::splitChild(MemClient &mem, PmHeap &heap, Addr parent,
+                          unsigned idx, Addr child)
+{
+    // Move the upper half of `child` into a fresh sibling and promote
+    // the median key into `parent`.
+    const bool child_leaf = mem.load(field(child, offIsLeaf)) != 0;
+    Addr sibling = allocNode(mem, heap, child_leaf);
+    constexpr unsigned half = maxKeys / 2;
+
+    for (unsigned i = 0; i < half; ++i) {
+        mem.store(field(sibling, offKeys + i),
+                  mem.load(field(child, offKeys + half + 1 + i)));
+        mem.store(field(sibling, offVals + i),
+                  mem.load(field(child, offVals + half + 1 + i)));
+    }
+    if (!child_leaf) {
+        for (unsigned i = 0; i <= half; ++i) {
+            mem.store(field(sibling, offKids + i),
+                      mem.load(field(child, offKids + half + 1 + i)));
+        }
+    }
+    mem.store(field(sibling, offCount), half);
+    mem.store(field(child, offCount), half);
+
+    // Shift parent's keys/children right of idx to make room.
+    std::uint64_t pcount = mem.load(field(parent, offCount));
+    for (std::uint64_t i = pcount; i > idx; --i) {
+        mem.store(field(parent, offKeys + i),
+                  mem.load(field(parent, offKeys + i - 1)));
+        mem.store(field(parent, offVals + i),
+                  mem.load(field(parent, offVals + i - 1)));
+        mem.store(field(parent, offKids + i + 1),
+                  mem.load(field(parent, offKids + i)));
+    }
+    mem.store(field(parent, offKeys + idx),
+              mem.load(field(child, offKeys + half)));
+    mem.store(field(parent, offVals + idx),
+              mem.load(field(child, offVals + half)));
+    mem.store(field(parent, offKids + idx + 1), sibling);
+    mem.store(field(parent, offCount), pcount + 1);
+}
+
+void
+BtreeWorkload::insertNonFull(MemClient &mem, PmHeap &heap, Addr node,
+                             std::uint64_t key, Word value)
+{
+    for (;;) {
+        std::uint64_t count = mem.load(field(node, offCount));
+        if (mem.load(field(node, offIsLeaf))) {
+            // Locate the insertion point first (no writes), so a
+            // duplicate hit leaves the leaf untouched.
+            std::uint64_t pos = count;
+            while (pos > 0) {
+                std::uint64_t k =
+                    mem.load(field(node, offKeys + pos - 1));
+                if (k == key) {
+                    // Duplicate: update in place.
+                    mem.store(field(node, offVals + pos - 1), value);
+                    return;
+                }
+                if (k < key)
+                    break;
+                --pos;
+            }
+            // Shift [pos, count) right by one, then place (key, value).
+            for (std::uint64_t i = count; i > pos; --i) {
+                mem.store(field(node, offKeys + i),
+                          mem.load(field(node, offKeys + i - 1)));
+                mem.store(field(node, offVals + i),
+                          mem.load(field(node, offVals + i - 1)));
+            }
+            mem.store(field(node, offKeys + pos), key);
+            mem.store(field(node, offVals + pos), value);
+            mem.store(field(node, offCount), count + 1);
+            return;
+        }
+
+        // Internal node: descend, splitting full children on the way.
+        std::uint64_t i = count;
+        while (i > 0 && mem.load(field(node, offKeys + i - 1)) > key)
+            --i;
+        if (i > 0 && mem.load(field(node, offKeys + i - 1)) == key) {
+            mem.store(field(node, offVals + i - 1), value);
+            return;
+        }
+        Addr child = mem.load(field(node, offKids + i));
+        if (mem.load(field(child, offCount)) == maxKeys) {
+            splitChild(mem, heap, node, unsigned(i), child);
+            std::uint64_t promoted = mem.load(field(node, offKeys + i));
+            if (promoted == key) {
+                mem.store(field(node, offVals + i), value);
+                return;
+            }
+            if (promoted < key)
+                child = mem.load(field(node, offKids + i + 1));
+        }
+        node = child;
+    }
+}
+
+Word
+BtreeWorkload::lookup(MemClient &mem, std::uint64_t key) const
+{
+    Addr node = mem.load(_rootPtr);
+    for (;;) {
+        std::uint64_t count = mem.load(field(node, offCount));
+        std::uint64_t i = 0;
+        while (i < count && mem.load(field(node, offKeys + i)) < key)
+            ++i;
+        if (i < count && mem.load(field(node, offKeys + i)) == key)
+            return mem.load(field(node, offVals + i));
+        if (mem.load(field(node, offIsLeaf)))
+            return 0;
+        node = mem.load(field(node, offKids + i));
+    }
+}
+
+} // namespace silo::workload

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Btree micro-benchmark: randomly insert elements in a B-tree
+ * (Table III).
+ *
+ * A textbook B-tree of order 8 (7 keys per node) stored in PM. Inserts
+ * shift keys/values within leaves and split full nodes, producing the
+ * medium-sized, partially-overlapping write sets the paper relies on for
+ * log merging.
+ */
+
+#ifndef SILO_WORKLOAD_BTREE_WORKLOAD_HH
+#define SILO_WORKLOAD_BTREE_WORKLOAD_HH
+
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** Random inserts into a PM-resident B-tree. */
+class BtreeWorkload : public Workload
+{
+  public:
+    /** Maximum keys per node. */
+    static constexpr unsigned maxKeys = 5;
+
+    explicit BtreeWorkload(std::uint64_t key_space = 1u << 20,
+                           unsigned prepopulate = 4096)
+        : _keySpace(key_space), _prepopulate(prepopulate)
+    {}
+
+    const char *name() const override { return "Btree"; }
+    void setup(MemClient &mem, PmHeap &heap, Rng &rng) override;
+    void transaction(MemClient &mem, PmHeap &heap, Rng &rng) override;
+
+    /** Look up @p key (test hook). @return value or 0 if absent. */
+    Word lookup(MemClient &mem, std::uint64_t key) const;
+
+  private:
+    // Node layout, in words:
+    //   [0] isLeaf  [1] count
+    //   [2..8]   keys[0..6]
+    //   [9..15]  values[0..6]
+    //   [16..23] children[0..7]
+    static constexpr unsigned nodeWords = 24;
+    static constexpr unsigned offIsLeaf = 0;
+    static constexpr unsigned offCount = 1;
+    static constexpr unsigned offKeys = 2;
+    static constexpr unsigned offVals = 9;
+    static constexpr unsigned offKids = 16;
+
+    Addr allocNode(MemClient &mem, PmHeap &heap, bool leaf);
+
+    static Addr field(Addr node, unsigned word_idx)
+    {
+        return node + Addr(word_idx) * wordBytes;
+    }
+
+    void insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                Word value);
+    void insertNonFull(MemClient &mem, PmHeap &heap, Addr node,
+                       std::uint64_t key, Word value);
+    /** Split full child @p child (index @p idx) of @p parent. */
+    void splitChild(MemClient &mem, PmHeap &heap, Addr parent,
+                    unsigned idx, Addr child);
+
+    std::uint64_t _keySpace;
+    unsigned _prepopulate;
+    Addr _rootPtr = 0;   //!< one-word cell holding the root address
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_BTREE_WORKLOAD_HH

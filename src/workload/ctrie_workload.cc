@@ -1,0 +1,115 @@
+#include "workload/ctrie_workload.hh"
+
+namespace silo::workload
+{
+
+namespace
+{
+
+/** Highest bit position where a and b differ (0 = MSB of 64). */
+unsigned
+critBit(std::uint64_t a, std::uint64_t b)
+{
+    return unsigned(__builtin_clzll(a ^ b));
+}
+
+/** Extract bit @p idx (0 = MSB). */
+unsigned
+bitAt(std::uint64_t key, unsigned idx)
+{
+    return unsigned((key >> (63 - idx)) & 1);
+}
+
+} // namespace
+
+void
+CtrieWorkload::setup(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    _rootPtr = heap.alloc(wordBytes, lineBytes);
+    for (unsigned i = 0; i < 4096; ++i) {
+        std::uint64_t key = rng.below(_keySpace) + 1;
+        Word value = rng.next() | 1;
+        insert(mem, heap, key, value);
+    }
+}
+
+void
+CtrieWorkload::transaction(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    std::uint64_t key = rng.below(_keySpace) + 1;
+    Word value = rng.next() | 1;
+    insert(mem, heap, key, value);
+}
+
+void
+CtrieWorkload::insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                      Word value)
+{
+    Word root = mem.load(_rootPtr);
+    if (!root) {
+        Addr leaf = heap.alloc(2 * wordBytes, 16);
+        mem.store(leaf, key);
+        mem.store(leaf + wordBytes, value);
+        mem.store(_rootPtr, leaf);
+        return;
+    }
+
+    // Walk to the closest leaf.
+    Word cur = root;
+    while (isInternal(cur)) {
+        Addr n = untag(cur);
+        unsigned idx = unsigned(mem.load(n));
+        cur = mem.load(n + (1 + bitAt(key, idx)) * wordBytes);
+    }
+    Addr leaf = untag(cur);
+    std::uint64_t leaf_key = mem.load(leaf);
+    if (leaf_key == key) {
+        mem.store(leaf + wordBytes, value);
+        return;
+    }
+
+    // Allocate the new leaf and the internal node that splits on the
+    // first differing bit.
+    unsigned new_bit = critBit(key, leaf_key);
+    Addr new_leaf = heap.alloc(2 * wordBytes, 16);
+    mem.store(new_leaf, key);
+    mem.store(new_leaf + wordBytes, value);
+
+    Addr inner = heap.alloc(3 * wordBytes, 32);
+    mem.store(inner, new_bit);
+
+    // Descend again to find the edge where the new node belongs: the
+    // first edge whose crit-bit index exceeds new_bit.
+    Addr parent_slot = _rootPtr;
+    cur = mem.load(parent_slot);
+    while (isInternal(cur)) {
+        Addr n = untag(cur);
+        unsigned idx = unsigned(mem.load(n));
+        if (idx > new_bit)
+            break;
+        parent_slot = n + (1 + bitAt(key, idx)) * wordBytes;
+        cur = mem.load(parent_slot);
+    }
+
+    unsigned side = bitAt(key, new_bit);
+    mem.store(inner + (1 + side) * wordBytes, new_leaf);
+    mem.store(inner + (1 + (side ^ 1)) * wordBytes, cur);
+    mem.store(parent_slot, inner | internalTag);
+}
+
+Word
+CtrieWorkload::lookup(MemClient &mem, std::uint64_t key) const
+{
+    Word cur = mem.load(_rootPtr);
+    if (!cur)
+        return 0;
+    while (isInternal(cur)) {
+        Addr n = untag(cur);
+        unsigned idx = unsigned(mem.load(n));
+        cur = mem.load(n + (1 + bitAt(key, idx)) * wordBytes);
+    }
+    Addr leaf = untag(cur);
+    return mem.load(leaf) == key ? mem.load(leaf + wordBytes) : 0;
+}
+
+} // namespace silo::workload

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ctrie workload: insert operations on a crit-bit trie, mirroring the
+ * PMDK crit-bit example the paper uses for Fig. 4.
+ *
+ * A classic crit-bit (PATRICIA) trie over 64-bit keys: internal nodes
+ * store the distinguishing bit index and two children; leaves store
+ * (key, value). Inserts allocate one leaf and at most one internal node
+ * and rewrite one link — small, pointer-heavy write sets.
+ */
+
+#ifndef SILO_WORKLOAD_CTRIE_WORKLOAD_HH
+#define SILO_WORKLOAD_CTRIE_WORKLOAD_HH
+
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** Inserts into a PM-resident crit-bit trie. */
+class CtrieWorkload : public Workload
+{
+  public:
+    explicit CtrieWorkload(std::uint64_t key_space = 1u << 24)
+        : _keySpace(key_space)
+    {}
+
+    const char *name() const override { return "Ctrie"; }
+    void setup(MemClient &mem, PmHeap &heap, Rng &rng) override;
+    void transaction(MemClient &mem, PmHeap &heap, Rng &rng) override;
+
+    /** Look up @p key (test hook). @return value or 0. */
+    Word lookup(MemClient &mem, std::uint64_t key) const;
+
+  private:
+    // Internal node, in words: [0] crit-bit index | tag, [1] child0,
+    // [2] child1. Leaf, in words: [0] key, [1] value.
+    // Pointers are tagged in their low bit: 1 = internal node.
+    static constexpr Word internalTag = 1;
+
+    static bool isInternal(Word ptr) { return ptr & internalTag; }
+    static Addr untag(Word ptr) { return ptr & ~internalTag; }
+
+    void insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                Word value);
+
+    std::uint64_t _keySpace;
+    Addr _rootPtr = 0;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_CTRIE_WORKLOAD_HH

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Functional memory used by workloads — an alias of the shared sparse
+ * WordStore (see sim/word_store.hh).
+ */
+
+#ifndef SILO_WORKLOAD_FUNC_MEM_HH
+#define SILO_WORKLOAD_FUNC_MEM_HH
+
+#include "sim/word_store.hh"
+
+namespace silo::workload
+{
+
+/** Sparse word-granular memory backing trace generation. */
+using FuncMem = WordStore;
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_FUNC_MEM_HH

@@ -1,0 +1,74 @@
+#include "workload/hash_workload.hh"
+
+namespace silo::workload
+{
+
+void
+HashWorkload::setup(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    _buckets = heap.alloc(Addr(_numBuckets) * wordBytes, lineBytes);
+    _countAddr = heap.alloc(wordBytes, lineBytes);
+    // Pre-populate ~25% load factor so chains exist.
+    for (unsigned i = 0; i < _numBuckets / 4; ++i)
+        insert(mem, heap, rng.next(), rng);
+}
+
+void
+HashWorkload::insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                     Rng &rng)
+{
+    Addr item = heap.allocLines(2);   // 16 words
+    mem.store(item, key);
+    for (unsigned w = 2; w < itemWords; ++w)
+        mem.store(item + w * wordBytes, rng.next() | 1);
+
+    Addr head_addr = bucket(key);
+    Word old_head = mem.load(head_addr);
+    mem.store(item + wordBytes, old_head);       // item.next = old head
+    mem.store(head_addr, item);                  // bucket head = item
+    mem.store(_countAddr, mem.load(_countAddr) + 1);
+}
+
+void
+HashWorkload::transaction(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    insert(mem, heap, rng.next(), rng);
+}
+
+Word
+HashWorkload::lookup(MemClient &mem, std::uint64_t key) const
+{
+    for (Addr item = mem.load(bucket(key)); item;
+         item = mem.load(item + wordBytes)) {
+        if (mem.load(item) == key)
+            return mem.load(item + 2 * wordBytes);
+    }
+    return 0;
+}
+
+bool
+HashWorkload::remove(MemClient &mem, std::uint64_t key)
+{
+    Addr prev_link = bucket(key);
+    for (Word item = mem.load(prev_link); item;
+         item = mem.load(prev_link)) {
+        if (mem.load(item) == key) {
+            // Unlink: one pointer store plus the count update. The
+            // item's storage stays allocated (bump heap), mirroring a
+            // tombstone-free chain removal.
+            mem.store(prev_link, mem.load(item + wordBytes));
+            mem.store(_countAddr, mem.load(_countAddr) - 1);
+            return true;
+        }
+        prev_link = item + wordBytes;
+    }
+    return false;
+}
+
+std::uint64_t
+HashWorkload::size(MemClient &mem) const
+{
+    return mem.load(_countAddr);
+}
+
+} // namespace silo::workload

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hash micro-benchmark: randomly insert elements in a hash table
+ * (Table III).
+ *
+ * Chained hashing with 128 B items (key, next pointer, 14 payload
+ * words). An insert writes ~18 distinct words, which is what makes Hash
+ * the workload that sizes Silo's 20-entry log buffer in §VI-D.
+ */
+
+#ifndef SILO_WORKLOAD_HASH_WORKLOAD_HH
+#define SILO_WORKLOAD_HASH_WORKLOAD_HH
+
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** Random inserts into a PM-resident chained hash table. */
+class HashWorkload : public Workload
+{
+  public:
+    explicit HashWorkload(unsigned num_buckets = 16384)
+        : _numBuckets(num_buckets)
+    {}
+
+    const char *name() const override { return "Hash"; }
+    void setup(MemClient &mem, PmHeap &heap, Rng &rng) override;
+    void transaction(MemClient &mem, PmHeap &heap, Rng &rng) override;
+
+    /** Look up @p key (test hook). @return first payload word or 0. */
+    Word lookup(MemClient &mem, std::uint64_t key) const;
+
+    /**
+     * Unlink @p key from its chain.
+     * @return true if the key was present and removed.
+     */
+    bool remove(MemClient &mem, std::uint64_t key);
+
+    /** Number of elements present (reads the count word). */
+    std::uint64_t size(MemClient &mem) const;
+
+  private:
+    // Item layout, in words: [0] key, [1] next, [2..15] payload.
+    static constexpr unsigned itemWords = 16;
+
+    Addr bucket(std::uint64_t key) const
+    {
+        // Fibonacci hashing spreads sequential keys across buckets.
+        std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+        return _buckets + (h % _numBuckets) * wordBytes;
+    }
+
+    void insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                Rng &rng);
+
+    unsigned _numBuckets;
+    Addr _buckets = 0;  //!< array of head pointers
+    Addr _countAddr = 0;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_HASH_WORKLOAD_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The memory interface workload code is written against.
+ *
+ * Workloads are real data-structure implementations (B-tree, RB-tree,
+ * hash table, ...) whose every persistent access goes through this
+ * interface at word granularity — the granularity of one CPU store and
+ * of one Silo log entry (Fig. 6). During trace generation a recorder
+ * implements it; nothing in a workload knows whether it is being traced
+ * or executed functionally.
+ */
+
+#ifndef SILO_WORKLOAD_MEM_CLIENT_HH
+#define SILO_WORKLOAD_MEM_CLIENT_HH
+
+#include "sim/types.hh"
+
+namespace silo::workload
+{
+
+/** Word-granular access to simulated persistent memory. */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /** Load the word at @p addr (word aligned). */
+    virtual Word load(Addr addr) = 0;
+
+    /** Store @p value to the word at @p addr (word aligned). */
+    virtual void store(Addr addr, Word value) = 0;
+
+    /** Mark the start of a transaction (maps to Tx_begin). */
+    virtual void txBegin() = 0;
+
+    /** Mark the end of a transaction (maps to Tx_end). */
+    virtual void txEnd() = 0;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_MEM_CLIENT_HH

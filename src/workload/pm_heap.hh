@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bump allocator over one thread's PM data arena.
+ *
+ * Workload data structures allocate nodes from here. Allocation is
+ * metadata-free (a bump pointer) because the reproduced experiments never
+ * free memory — the paper's micro-benchmarks are insert/enqueue loops.
+ * Allocations are word aligned so every field is one loggable word.
+ */
+
+#ifndef SILO_WORKLOAD_PM_HEAP_HH
+#define SILO_WORKLOAD_PM_HEAP_HH
+
+#include "sim/address_map.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace silo::workload
+{
+
+/** Word-aligned bump allocator for a contiguous arena. */
+class PmHeap
+{
+  public:
+    /**
+     * @param base First byte of the arena.
+     * @param size_bytes Arena capacity.
+     */
+    PmHeap(Addr base, Addr size_bytes)
+        : _base(base), _end(base + size_bytes), _next(base)
+    {}
+
+    /** Convenience: the standard arena of thread @p tid. */
+    static PmHeap
+    forThread(unsigned tid)
+    {
+        return PmHeap(addr_map::dataArenaBase(tid),
+                      addr_map::dataArenaBytes);
+    }
+
+    /**
+     * Allocate @p bytes, aligned to @p align (power of two >= 8).
+     * @return address of the allocation.
+     */
+    Addr
+    alloc(Addr bytes, Addr align = wordBytes)
+    {
+        Addr p = (_next + align - 1) & ~(align - 1);
+        if (p + bytes > _end)
+            fatal("PM arena exhausted; shrink the workload");
+        _next = p + bytes;
+        return p;
+    }
+
+    /** Allocate a whole number of cachelines (64 B aligned). */
+    Addr
+    allocLines(unsigned lines)
+    {
+        return alloc(Addr(lines) * lineBytes, lineBytes);
+    }
+
+    Addr base() const { return _base; }
+    Addr used() const { return _next - _base; }
+
+  private:
+    Addr _base;
+    Addr _end;
+    Addr _next;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_PM_HEAP_HH

@@ -1,0 +1,67 @@
+#include "workload/queue_workload.hh"
+
+namespace silo::workload
+{
+
+void
+QueueWorkload::setup(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    Addr control = heap.allocLines(1);
+    _headAddr = control;
+    _tailAddr = control + wordBytes;
+    _countAddr = control + 2 * wordBytes;
+    // Seed with a few elements so the first dequeues have work to do.
+    for (int i = 0; i < 64; ++i)
+        enqueue(mem, heap, rng);
+}
+
+void
+QueueWorkload::enqueue(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    Addr node = heap.allocLines(1);
+    for (unsigned w = 1; w < wordsPerLine; ++w)
+        mem.store(node + w * wordBytes, rng.next() | 1);
+
+    Word tail = mem.load(_tailAddr);
+    if (tail)
+        mem.store(tail, node);           // old tail -> next = node
+    else
+        mem.store(_headAddr, node);      // empty queue: head = node
+    mem.store(_tailAddr, node);
+    mem.store(_countAddr, mem.load(_countAddr) + 1);
+}
+
+void
+QueueWorkload::dequeue(MemClient &mem)
+{
+    Word head = mem.load(_headAddr);
+    if (!head)
+        return;
+    Word next = mem.load(head);
+    mem.store(_headAddr, next);
+    if (!next)
+        mem.store(_tailAddr, 0);
+    mem.store(_countAddr, mem.load(_countAddr) - 1);
+}
+
+void
+QueueWorkload::transaction(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    enqueue(mem, heap, rng);
+    dequeue(mem);
+}
+
+std::uint64_t
+QueueWorkload::size(MemClient &mem) const
+{
+    return mem.load(_countAddr);
+}
+
+Word
+QueueWorkload::front(MemClient &mem) const
+{
+    Word head = mem.load(_headAddr);
+    return head ? mem.load(head + wordBytes) : 0;
+}
+
+} // namespace silo::workload

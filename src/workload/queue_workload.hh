@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Queue micro-benchmark: randomly enqueue and dequeue elements in a
+ * queue (Table III).
+ *
+ * A singly-linked FIFO with 64 B nodes. Each transaction enqueues one
+ * fresh node and dequeues one old node, so the structure's size stays
+ * bounded while every transaction touches widely separated lines —
+ * the low-spatial-locality behaviour the paper highlights for Queue
+ * when comparing against LAD (§VI-C).
+ */
+
+#ifndef SILO_WORKLOAD_QUEUE_WORKLOAD_HH
+#define SILO_WORKLOAD_QUEUE_WORKLOAD_HH
+
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** Enqueue/dequeue pairs on a PM-resident linked queue. */
+class QueueWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "Queue"; }
+    void setup(MemClient &mem, PmHeap &heap, Rng &rng) override;
+    void transaction(MemClient &mem, PmHeap &heap, Rng &rng) override;
+
+    /** Current queue length (test hook). */
+    std::uint64_t size(MemClient &mem) const;
+
+    /** Value at the queue head (test hook; 0 when empty). */
+    Word front(MemClient &mem) const;
+
+  private:
+    // Node layout, in words: [0] next, [1..7] payload.
+    void enqueue(MemClient &mem, PmHeap &heap, Rng &rng);
+    void dequeue(MemClient &mem);
+
+    Addr _headAddr = 0;
+    Addr _tailAddr = 0;
+    Addr _countAddr = 0;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_QUEUE_WORKLOAD_HH

@@ -1,0 +1,202 @@
+#include "workload/rbtree_workload.hh"
+
+namespace silo::workload
+{
+
+void
+RBtreeWorkload::setup(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    _rootPtr = heap.alloc(wordBytes, lineBytes);
+    for (unsigned i = 0; i < 4096; ++i) {
+        std::uint64_t key = rng.below(_keySpace) + 1;
+        Word value = rng.next() | 1;
+        insert(mem, heap, key, value);
+    }
+}
+
+void
+RBtreeWorkload::transaction(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    std::uint64_t key = rng.below(_keySpace) + 1;
+    Word value = rng.next() | 1;
+    insert(mem, heap, key, value);
+}
+
+void
+RBtreeWorkload::replaceChild(MemClient &mem, Addr parent, Addr old_child,
+                             Addr new_child)
+{
+    if (!parent) {
+        mem.store(_rootPtr, new_child);
+    } else if (mem.load(field(parent, offLeft)) == old_child) {
+        mem.store(field(parent, offLeft), new_child);
+    } else {
+        mem.store(field(parent, offRight), new_child);
+    }
+}
+
+void
+RBtreeWorkload::rotateLeft(MemClient &mem, Addr node)
+{
+    Addr parent = mem.load(field(node, offParent));
+    Addr right = mem.load(field(node, offRight));
+    Addr rl = mem.load(field(right, offLeft));
+
+    mem.store(field(node, offRight), rl);
+    if (rl)
+        mem.store(field(rl, offParent), node);
+    mem.store(field(right, offLeft), node);
+    mem.store(field(node, offParent), right);
+    mem.store(field(right, offParent), parent);
+    replaceChild(mem, parent, node, right);
+}
+
+void
+RBtreeWorkload::rotateRight(MemClient &mem, Addr node)
+{
+    Addr parent = mem.load(field(node, offParent));
+    Addr left = mem.load(field(node, offLeft));
+    Addr lr = mem.load(field(left, offRight));
+
+    mem.store(field(node, offLeft), lr);
+    if (lr)
+        mem.store(field(lr, offParent), node);
+    mem.store(field(left, offRight), node);
+    mem.store(field(node, offParent), left);
+    mem.store(field(left, offParent), parent);
+    replaceChild(mem, parent, node, left);
+}
+
+void
+RBtreeWorkload::insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                       Word value)
+{
+    // Standard BST descent.
+    Addr parent = 0;
+    Addr cur = mem.load(_rootPtr);
+    while (cur) {
+        std::uint64_t k = mem.load(field(cur, offKey));
+        if (k == key) {
+            mem.store(field(cur, offVal), value);
+            return;
+        }
+        parent = cur;
+        cur = mem.load(field(cur, k < key ? offRight : offLeft));
+    }
+
+    Addr node = heap.allocLines(1);
+    mem.store(field(node, offKey), key);
+    mem.store(field(node, offVal), value);
+    mem.store(field(node, offColor), 1);   // red
+    mem.store(field(node, offParent), parent);
+
+    if (!parent)
+        mem.store(_rootPtr, node);
+    else if (mem.load(field(parent, offKey)) < key)
+        mem.store(field(parent, offRight), node);
+    else
+        mem.store(field(parent, offLeft), node);
+
+    fixInsert(mem, node);
+}
+
+void
+RBtreeWorkload::fixInsert(MemClient &mem, Addr node)
+{
+    while (true) {
+        Addr parent = mem.load(field(node, offParent));
+        if (!parent || !isRed(mem, parent))
+            break;
+        Addr grand = mem.load(field(parent, offParent));
+        if (!grand)
+            break;
+        bool parent_is_left =
+            mem.load(field(grand, offLeft)) == parent;
+        Addr uncle =
+            mem.load(field(grand, parent_is_left ? offRight : offLeft));
+
+        if (isRed(mem, uncle)) {
+            // Case 1: recolor and climb.
+            mem.store(field(parent, offColor), 0);
+            mem.store(field(uncle, offColor), 0);
+            mem.store(field(grand, offColor), 1);
+            node = grand;
+            continue;
+        }
+
+        if (parent_is_left) {
+            if (mem.load(field(parent, offRight)) == node) {
+                // Case 2: inner child; rotate to outer.
+                rotateLeft(mem, parent);
+                node = parent;
+                parent = mem.load(field(node, offParent));
+            }
+            mem.store(field(parent, offColor), 0);
+            mem.store(field(grand, offColor), 1);
+            rotateRight(mem, grand);
+        } else {
+            if (mem.load(field(parent, offLeft)) == node) {
+                rotateRight(mem, parent);
+                node = parent;
+                parent = mem.load(field(node, offParent));
+            }
+            mem.store(field(parent, offColor), 0);
+            mem.store(field(grand, offColor), 1);
+            rotateLeft(mem, grand);
+        }
+        break;
+    }
+
+    Addr root = mem.load(_rootPtr);
+    if (isRed(mem, root))
+        mem.store(field(root, offColor), 0);
+}
+
+Word
+RBtreeWorkload::lookup(MemClient &mem, std::uint64_t key) const
+{
+    Addr cur = mem.load(_rootPtr);
+    while (cur) {
+        std::uint64_t k = mem.load(field(cur, offKey));
+        if (k == key)
+            return mem.load(field(cur, offVal));
+        cur = mem.load(field(cur, k < key ? offRight : offLeft));
+    }
+    return 0;
+}
+
+unsigned
+RBtreeWorkload::validateNode(MemClient &mem, Addr node, bool &ok) const
+{
+    if (!node)
+        return 1;   // nil nodes are black
+    Addr left = mem.load(field(node, offLeft));
+    Addr right = mem.load(field(node, offRight));
+    std::uint64_t key = mem.load(field(node, offKey));
+
+    if (left && mem.load(field(left, offKey)) >= key)
+        ok = false;
+    if (right && mem.load(field(right, offKey)) <= key)
+        ok = false;
+    if (isRed(mem, node) && (isRed(mem, left) || isRed(mem, right)))
+        ok = false;   // no red node has a red child
+
+    unsigned lh = validateNode(mem, left, ok);
+    unsigned rh = validateNode(mem, right, ok);
+    if (lh != rh)
+        ok = false;   // equal black heights
+    return lh + (isRed(mem, node) ? 0 : 1);
+}
+
+unsigned
+RBtreeWorkload::validate(MemClient &mem) const
+{
+    Addr root = mem.load(_rootPtr);
+    if (root && isRed(mem, root))
+        return 0;
+    bool ok = true;
+    unsigned height = validateNode(mem, root, ok);
+    return ok ? height : 0;
+}
+
+} // namespace silo::workload

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * RBtree micro-benchmark: randomly insert elements in a red-black tree
+ * (Table III).
+ *
+ * A textbook red-black tree with parent pointers, stored in PM one node
+ * per cacheline. Insert fix-up performs recolorings and rotations whose
+ * scattered single-word stores exercise Silo's log merging on revisited
+ * words (e.g., a node recolored twice on one path).
+ */
+
+#ifndef SILO_WORKLOAD_RBTREE_WORKLOAD_HH
+#define SILO_WORKLOAD_RBTREE_WORKLOAD_HH
+
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** Random inserts into a PM-resident red-black tree. */
+class RBtreeWorkload : public Workload
+{
+  public:
+    explicit RBtreeWorkload(std::uint64_t key_space = 1u << 20)
+        : _keySpace(key_space)
+    {}
+
+    const char *name() const override { return "RBtree"; }
+    void setup(MemClient &mem, PmHeap &heap, Rng &rng) override;
+    void transaction(MemClient &mem, PmHeap &heap, Rng &rng) override;
+
+    /** Look up @p key (test hook). @return value or 0. */
+    Word lookup(MemClient &mem, std::uint64_t key) const;
+
+    /**
+     * Verify red-black invariants (test hook).
+     * @return black height, or 0 if a violation was found.
+     */
+    unsigned validate(MemClient &mem) const;
+
+  private:
+    // Node layout, in words:
+    //   [0] key  [1] value  [2] color (1 = red)  [3] parent
+    //   [4] left [5] right
+    static constexpr unsigned offKey = 0;
+    static constexpr unsigned offVal = 1;
+    static constexpr unsigned offColor = 2;
+    static constexpr unsigned offParent = 3;
+    static constexpr unsigned offLeft = 4;
+    static constexpr unsigned offRight = 5;
+
+    static Addr field(Addr n, unsigned w) { return n + w * wordBytes; }
+
+    bool isRed(MemClient &mem, Addr n) const
+    {
+        return n && mem.load(field(n, offColor)) != 0;
+    }
+
+    void insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                Word value);
+    void fixInsert(MemClient &mem, Addr node);
+    void rotateLeft(MemClient &mem, Addr node);
+    void rotateRight(MemClient &mem, Addr node);
+    /** Replace @p old_child of @p parent (0 = root) with @p new_child. */
+    void replaceChild(MemClient &mem, Addr parent, Addr old_child,
+                      Addr new_child);
+
+    unsigned validateNode(MemClient &mem, Addr node, bool &ok) const;
+
+    std::uint64_t _keySpace;
+    Addr _rootPtr = 0;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_RBTREE_WORKLOAD_HH

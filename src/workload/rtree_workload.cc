@@ -1,0 +1,55 @@
+#include "workload/rtree_workload.hh"
+
+namespace silo::workload
+{
+
+void
+RtreeWorkload::setup(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    _root = heap.allocLines(2);   // 16 pointer words = 128 B
+    for (unsigned i = 0; i < 4096; ++i) {
+        std::uint64_t key = rng.below(1u << keyBits);
+        Word value = rng.next() | 1;
+        insert(mem, heap, key, value);
+    }
+}
+
+void
+RtreeWorkload::transaction(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    std::uint64_t key = rng.below(1u << keyBits);
+    Word value = rng.next() | 1;
+    insert(mem, heap, key, value);
+}
+
+void
+RtreeWorkload::insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                      Word value)
+{
+    Addr node = _root;
+    for (unsigned level = 0; level < levels - 1; ++level) {
+        Addr slot = node + nibble(key, level) * wordBytes;
+        Word child = mem.load(slot);
+        if (!child) {
+            child = heap.allocLines(2);
+            mem.store(slot, child);
+        }
+        node = child;
+    }
+    // Last level holds values directly.
+    mem.store(node + nibble(key, levels - 1) * wordBytes, value);
+}
+
+Word
+RtreeWorkload::lookup(MemClient &mem, std::uint64_t key) const
+{
+    Addr node = _root;
+    for (unsigned level = 0; level < levels - 1; ++level) {
+        node = mem.load(node + nibble(key, level) * wordBytes);
+        if (!node)
+            return 0;
+    }
+    return mem.load(node + nibble(key, levels - 1) * wordBytes);
+}
+
+} // namespace silo::workload

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Rtree workload: insert operations on a radix tree, mirroring the PMDK
+ * radix-tree example the paper uses for Fig. 4.
+ *
+ * A 16-ary (nibble-indexed) radix tree over 24-bit keys. Nodes are 16
+ * pointer words; fresh arena memory reads as zero, so a new node costs
+ * no initialization stores and inserts write only the path links plus
+ * the leaf value — the small write sets Fig. 4 shows for Rtree.
+ */
+
+#ifndef SILO_WORKLOAD_RTREE_WORKLOAD_HH
+#define SILO_WORKLOAD_RTREE_WORKLOAD_HH
+
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** Inserts into a PM-resident 16-ary radix tree. */
+class RtreeWorkload : public Workload
+{
+  public:
+    /** Key bits; 24 bits -> 6 nibble levels. */
+    static constexpr unsigned keyBits = 24;
+    static constexpr unsigned levels = keyBits / 4;
+
+    const char *name() const override { return "Rtree"; }
+    void setup(MemClient &mem, PmHeap &heap, Rng &rng) override;
+    void transaction(MemClient &mem, PmHeap &heap, Rng &rng) override;
+
+    /** Look up @p key (test hook). @return value or 0. */
+    Word lookup(MemClient &mem, std::uint64_t key) const;
+
+  private:
+    static unsigned
+    nibble(std::uint64_t key, unsigned level)
+    {
+        return unsigned((key >> (4 * (levels - 1 - level))) & 0xf);
+    }
+
+    void insert(MemClient &mem, PmHeap &heap, std::uint64_t key,
+                Word value);
+
+    Addr _root = 0;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_RTREE_WORKLOAD_HH

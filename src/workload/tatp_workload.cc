@@ -1,0 +1,54 @@
+#include "workload/tatp_workload.hh"
+
+namespace silo::workload
+{
+
+namespace
+{
+constexpr unsigned offFlags = 0, offLocation = 1, offSfActive = 4,
+                   offSfData = 5, offCfHead = 6;
+} // namespace
+
+void
+TatpWorkload::setup(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    _subscribers = heap.alloc(Addr(_numSubscribers) * subscriberWords *
+                              wordBytes, lineBytes);
+    for (unsigned s = 0; s < _numSubscribers; ++s) {
+        mem.store(sub(s) + offFlags * wordBytes, rng.next());
+        mem.store(sub(s) + offLocation * wordBytes, rng.next() | 1);
+    }
+}
+
+void
+TatpWorkload::transaction(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    unsigned s = unsigned(rng.below(_numSubscribers));
+    std::uint64_t dice = rng.below(100);
+
+    if (dice < 40) {
+        // UPDATE_LOCATION: one word.
+        mem.store(sub(s) + offLocation * wordBytes, rng.next() | 1);
+    } else if (dice < 75) {
+        // UPDATE_SUBSCRIBER_DATA: bit flags + special facility data.
+        mem.store(sub(s) + offFlags * wordBytes, rng.next());
+        mem.store(sub(s) + offSfActive * wordBytes, rng.below(2));
+        mem.store(sub(s) + offSfData * wordBytes, rng.next() | 1);
+    } else {
+        // INSERT_CALL_FORWARDING: new 4-word row linked at the head.
+        Addr row = heap.alloc(4 * wordBytes, 32);
+        Word head = mem.load(sub(s) + offCfHead * wordBytes);
+        mem.store(row + 0 * wordBytes, rng.below(24));        // start
+        mem.store(row + 1 * wordBytes, rng.next() | 1);       // numberx
+        mem.store(row + 2 * wordBytes, head);                 // next
+        mem.store(sub(s) + offCfHead * wordBytes, row);
+    }
+}
+
+Word
+TatpWorkload::location(MemClient &mem, unsigned s) const
+{
+    return mem.load(sub(s) + offLocation * wordBytes);
+}
+
+} // namespace silo::workload

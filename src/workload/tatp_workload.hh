@@ -1,0 +1,52 @@
+/**
+ * @file
+ * TATP benchmark (telecom application transaction processing), used by
+ * the paper for Fig. 4's write-size characterization.
+ *
+ * A subscriber table with per-subscriber special-facility and
+ * call-forwarding rows. The write transactions of the standard TATP mix
+ * (UPDATE_SUBSCRIBER_DATA, UPDATE_LOCATION, INSERT/DELETE_CALL_FORWARDING)
+ * modify one or a handful of words — the smallest write sets in Fig. 4.
+ */
+
+#ifndef SILO_WORKLOAD_TATP_WORKLOAD_HH
+#define SILO_WORKLOAD_TATP_WORKLOAD_HH
+
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** TATP write-transaction mix over a PM subscriber table. */
+class TatpWorkload : public Workload
+{
+  public:
+    explicit TatpWorkload(unsigned num_subscribers = 65536)
+        : _numSubscribers(num_subscribers)
+    {}
+
+    const char *name() const override { return "TATP"; }
+    void setup(MemClient &mem, PmHeap &heap, Rng &rng) override;
+    void transaction(MemClient &mem, PmHeap &heap, Rng &rng) override;
+
+    /** Location field of @p sub (test hook). */
+    Word location(MemClient &mem, unsigned sub) const;
+
+  private:
+    // Subscriber: [0] bit flags, [1] location, [2] msc_location,
+    //             [3] vlr_location; special facility: [4] sf_active,
+    //             [5] sf_data; call forwarding list head: [6].
+    static constexpr unsigned subscriberWords = 8;
+
+    Addr sub(unsigned s) const
+    {
+        return _subscribers + Addr(s) * subscriberWords * wordBytes;
+    }
+
+    unsigned _numSubscribers;
+    Addr _subscribers = 0;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_TATP_WORKLOAD_HH

@@ -1,0 +1,299 @@
+#include "workload/tpcc_workload.hh"
+
+namespace silo::workload
+{
+
+// Field offsets (words) within each record.
+namespace
+{
+// Warehouse: [0] ytd, [1] tax.
+constexpr unsigned wYtd = 0, wTax = 1;
+// District: [0] next_o_id, [1] ytd, [2] tax.
+constexpr unsigned dNextOid = 0, dYtd = 1, dTax = 2;
+// Customer: [0] balance, [1] ytd_payment, [2] payment_cnt,
+//           [3] delivery_cnt.
+constexpr unsigned cBalance = 0, cYtdPayment = 1, cPaymentCnt = 2,
+                   cDeliveryCnt = 3;
+// Item: [0] price.
+constexpr unsigned iPrice = 0;
+// Stock row: one packed word [qty:16 | ytd:24 | order_cnt:24], so the
+// per-line stock update is a single read-modify-write — mirroring how
+// the paper's TPC-C keeps a transaction's write set small (§II-E,
+// Fig. 13: all remaining write sets fit the 20-entry log buffer).
+constexpr unsigned sPacked = 0;
+// Order: [0] packed header [c_id:16 | ol_cnt:8 | entry_d:40],
+//        [1] ol_base, [2] carrier_id, [3] total.
+constexpr unsigned oHeader = 0, oOlBase = 1, oCarrier = 2, oTotal = 3;
+// Order line: one packed word [i_id:24 | qty:8 | amount:24 |
+// delivered:1].
+constexpr Word olDeliveredBit = Word(1) << 63;
+
+Word
+packStock(Word qty, Word ytd, Word cnt)
+{
+    return (qty & 0xffff) | ((ytd & 0xffffff) << 16) | (cnt << 40);
+}
+
+Word
+stockQty(Word packed)
+{
+    return packed & 0xffff;
+}
+
+Word
+packOrderHeader(Word c_id, Word ol_cnt, Word entry_d)
+{
+    return (c_id & 0xffff) | ((ol_cnt & 0xff) << 16) |
+           (entry_d << 24);
+}
+
+Word
+packOrderLine(Word i_id, Word qty, Word amount)
+{
+    return (i_id & 0xffffff) | ((qty & 0xff) << 24) |
+           ((amount & 0x7fffffff) << 32);
+}
+} // namespace
+
+void
+TpccWorkload::setup(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    _warehouse = heap.alloc(warehouseWords * wordBytes, lineBytes);
+    _districts = heap.alloc(Addr(numDistricts) * districtWords *
+                            wordBytes, lineBytes);
+    _customers = heap.alloc(Addr(numDistricts) * customersPerDistrict *
+                            customerWords * wordBytes, lineBytes);
+    _items = heap.alloc(Addr(numItems) * itemWords * wordBytes,
+                        lineBytes);
+    _stock = heap.alloc(Addr(numItems) * stockWords * wordBytes,
+                        lineBytes);
+    _orderDir = heap.alloc(Addr(numDistricts) * orderDirSlots *
+                           wordBytes, lineBytes);
+    _newOrderRing = heap.alloc(Addr(numDistricts) * newOrderSlots *
+                               wordBytes, lineBytes);
+    _newOrderHead = heap.alloc(Addr(numDistricts) * wordBytes,
+                               lineBytes);
+    _newOrderTail = heap.alloc(Addr(numDistricts) * wordBytes,
+                               lineBytes);
+    _custLastOrder = heap.alloc(Addr(numDistricts) *
+                                customersPerDistrict * wordBytes,
+                                lineBytes);
+
+    mem.store(_warehouse + wTax * wordBytes, 8);   // 0.08% in basis pts
+    for (unsigned d = 0; d < numDistricts; ++d) {
+        mem.store(district(d) + dNextOid * wordBytes, 1);
+        mem.store(district(d) + dTax * wordBytes, 10 + d);
+    }
+    for (unsigned c = 0; c < numDistricts * customersPerDistrict; ++c) {
+        mem.store(_customers + Addr(c) * customerWords * wordBytes +
+                  cBalance * wordBytes, 1000);
+    }
+    for (unsigned i = 0; i < numItems; ++i) {
+        mem.store(item(i) + iPrice * wordBytes, rng.range(100, 10000));
+        mem.store(stock(i) + sPacked * wordBytes,
+                  packStock(rng.range(50, 100), 0, 0));
+    }
+    // A few initial orders so Delivery/Order-Status have material.
+    for (unsigned i = 0; i < 4 * numDistricts; ++i)
+        txNewOrder(mem, heap, rng);
+}
+
+void
+TpccWorkload::transaction(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    if (!_allTxTypes) {
+        txNewOrder(mem, heap, rng);
+        return;
+    }
+    // Standard TPC-C mix: 45/43/4/4/4.
+    std::uint64_t dice = rng.below(100);
+    if (dice < 45)
+        txNewOrder(mem, heap, rng);
+    else if (dice < 88)
+        txPayment(mem, heap, rng);
+    else if (dice < 92)
+        txOrderStatus(mem, rng);
+    else if (dice < 96)
+        txDelivery(mem, rng);
+    else
+        txStockLevel(mem, rng);
+}
+
+void
+TpccWorkload::txNewOrder(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    unsigned d = unsigned(rng.below(numDistricts));
+    unsigned c = unsigned(rng.below(customersPerDistrict));
+    unsigned ol_cnt = unsigned(rng.range(3, 6));
+
+    Word w_tax = mem.load(_warehouse + wTax * wordBytes);
+    Word d_tax = mem.load(district(d) + dTax * wordBytes);
+
+    Word o_id = mem.load(district(d) + dNextOid * wordBytes);
+    mem.store(district(d) + dNextOid * wordBytes, o_id + 1);
+
+    Addr order = heap.alloc(orderWords * wordBytes, lineBytes);
+    Addr lines = heap.alloc(Addr(ol_cnt) * wordBytes, lineBytes);
+    mem.store(order + oHeader * wordBytes,
+              packOrderHeader(c, ol_cnt, _clock++));
+    mem.store(order + oOlBase * wordBytes, lines);
+
+    std::uint64_t total = 0;
+    for (unsigned l = 0; l < ol_cnt; ++l) {
+        unsigned i = unsigned(rng.below(numItems));
+        unsigned qty = unsigned(rng.range(1, 10));
+        Word price = mem.load(item(i) + iPrice * wordBytes);
+
+        // One packed read-modify-write per stock row.
+        Word s = mem.load(stock(i) + sPacked * wordBytes);
+        Word s_qty = stockQty(s);
+        Word new_qty = s_qty > qty + 10 ? s_qty - qty
+                                        : s_qty + 91 - qty;
+        mem.store(stock(i) + sPacked * wordBytes,
+                  packStock(new_qty, ((s >> 16) & 0xffffff) + qty,
+                            (s >> 40) + 1));
+
+        // One packed order-line word, and the order total accumulates
+        // in place — its log entries merge in Silo's buffer.
+        mem.store(lines + Addr(l) * wordBytes,
+                  packOrderLine(i, qty, price * qty));
+        total += price * qty;
+        mem.store(order + oTotal * wordBytes, total);
+    }
+    (void)w_tax;
+    (void)d_tax;
+
+    mem.store(orderDirSlot(d, o_id), order);
+    mem.store(_custLastOrder +
+              (Addr(d) * customersPerDistrict + c) * wordBytes, order);
+
+    // Append to the district's new-order FIFO.
+    Addr tail_addr = _newOrderTail + Addr(d) * wordBytes;
+    Word tail = mem.load(tail_addr);
+    mem.store(_newOrderRing +
+              (Addr(d) * newOrderSlots + tail % newOrderSlots) *
+                  wordBytes, order);
+    mem.store(tail_addr, tail + 1);
+}
+
+void
+TpccWorkload::txPayment(MemClient &mem, PmHeap &heap, Rng &rng)
+{
+    unsigned d = unsigned(rng.below(numDistricts));
+    unsigned c = unsigned(rng.below(customersPerDistrict));
+    Word amount = rng.range(100, 5000);
+
+    mem.store(_warehouse + wYtd * wordBytes,
+              mem.load(_warehouse + wYtd * wordBytes) + amount);
+    mem.store(district(d) + dYtd * wordBytes,
+              mem.load(district(d) + dYtd * wordBytes) + amount);
+
+    Addr cust = customer(d, c);
+    mem.store(cust + cBalance * wordBytes,
+              mem.load(cust + cBalance * wordBytes) - amount);
+    mem.store(cust + cYtdPayment * wordBytes,
+              mem.load(cust + cYtdPayment * wordBytes) + amount);
+    mem.store(cust + cPaymentCnt * wordBytes,
+              mem.load(cust + cPaymentCnt * wordBytes) + 1);
+
+    Addr hist = heap.alloc(historyWords * wordBytes);
+    mem.store(hist + 0 * wordBytes, (Word(d) << 32) | c);
+    mem.store(hist + 1 * wordBytes, amount);
+    mem.store(hist + 2 * wordBytes, _clock++);
+}
+
+void
+TpccWorkload::txOrderStatus(MemClient &mem, Rng &rng)
+{
+    unsigned d = unsigned(rng.below(numDistricts));
+    unsigned c = unsigned(rng.below(customersPerDistrict));
+    Addr cust = customer(d, c);
+    (void)mem.load(cust + cBalance * wordBytes);
+
+    Word order = mem.load(_custLastOrder +
+                          (Addr(d) * customersPerDistrict + c) *
+                              wordBytes);
+    if (!order)
+        return;
+    Word ol_cnt = (mem.load(order + oHeader * wordBytes) >> 16) & 0xff;
+    Word lines = mem.load(order + oOlBase * wordBytes);
+    for (Word l = 0; l < ol_cnt; ++l)
+        (void)mem.load(lines + l * wordBytes);
+}
+
+void
+TpccWorkload::txDelivery(MemClient &mem, Rng &rng)
+{
+    unsigned d = unsigned(rng.below(numDistricts));
+    Addr head_addr = _newOrderHead + Addr(d) * wordBytes;
+    Addr tail_addr = _newOrderTail + Addr(d) * wordBytes;
+    Word head = mem.load(head_addr);
+    if (head >= mem.load(tail_addr))
+        return;   // nothing to deliver
+
+    Word order = mem.load(_newOrderRing +
+                          (Addr(d) * newOrderSlots +
+                           head % newOrderSlots) * wordBytes);
+    mem.store(head_addr, head + 1);
+    mem.store(order + oCarrier * wordBytes, rng.range(1, 10));
+
+    Word header = mem.load(order + oHeader * wordBytes);
+    Word ol_cnt = (header >> 16) & 0xff;
+    Word lines = mem.load(order + oOlBase * wordBytes);
+    std::uint64_t total = 0;
+    for (Word l = 0; l < ol_cnt; ++l) {
+        Word ol = mem.load(lines + l * wordBytes);
+        total += (ol >> 32) & 0x7fffffff;
+        mem.store(lines + l * wordBytes, ol | olDeliveredBit);
+    }
+    ++_clock;
+
+    unsigned c = unsigned(header & 0xffff);
+    Addr cust = customer(d, c);
+    mem.store(cust + cBalance * wordBytes,
+              mem.load(cust + cBalance * wordBytes) + total);
+    mem.store(cust + cDeliveryCnt * wordBytes,
+              mem.load(cust + cDeliveryCnt * wordBytes) + 1);
+}
+
+void
+TpccWorkload::txStockLevel(MemClient &mem, Rng &rng)
+{
+    unsigned d = unsigned(rng.below(numDistricts));
+    Word next_oid = mem.load(district(d) + dNextOid * wordBytes);
+    Word first = next_oid > 20 ? next_oid - 20 : 1;
+    for (Word o = first; o < next_oid; ++o) {
+        Word order = mem.load(orderDirSlot(d, o));
+        if (!order)
+            continue;
+        Word ol_cnt =
+            (mem.load(order + oHeader * wordBytes) >> 16) & 0xff;
+        Word lines = mem.load(order + oOlBase * wordBytes);
+        for (Word l = 0; l < ol_cnt; ++l) {
+            Word ol = mem.load(lines + l * wordBytes);
+            Word i = ol & 0xffffff;
+            (void)mem.load(stock(unsigned(i)) + sPacked * wordBytes);
+        }
+    }
+}
+
+Word
+TpccWorkload::warehouseYtd(MemClient &mem) const
+{
+    return mem.load(_warehouse + wYtd * wordBytes);
+}
+
+Word
+TpccWorkload::districtNextOrderId(MemClient &mem, unsigned d) const
+{
+    return mem.load(district(d) + dNextOid * wordBytes);
+}
+
+Word
+TpccWorkload::customerBalance(MemClient &mem, unsigned d,
+                              unsigned c) const
+{
+    return mem.load(customer(d, c) + cBalance * wordBytes);
+}
+
+} // namespace silo::workload

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * TPCC macro-benchmark (Table III, from Whisper).
+ *
+ * A per-thread TPC-C warehouse with districts, customers, items, stock,
+ * orders, order lines, the new-order FIFO, and the history log. Like
+ * MorLog's configuration, Figs. 11/12 run the New-Order transaction
+ * only; §VI-D sizes the log buffer with all five transaction types
+ * (New-Order, Payment, Order-Status, Delivery, Stock-Level), which this
+ * workload also implements.
+ */
+
+#ifndef SILO_WORKLOAD_TPCC_WORKLOAD_HH
+#define SILO_WORKLOAD_TPCC_WORKLOAD_HH
+
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** One thread's TPC-C warehouse. */
+class TpccWorkload : public Workload
+{
+  public:
+    /** @param all_tx_types Run the five-type mix instead of New-Order. */
+    explicit TpccWorkload(bool all_tx_types = false)
+        : _allTxTypes(all_tx_types)
+    {}
+
+    const char *name() const override { return "TPCC"; }
+    void setup(MemClient &mem, PmHeap &heap, Rng &rng) override;
+    void transaction(MemClient &mem, PmHeap &heap, Rng &rng) override;
+
+    /** Warehouse year-to-date total (test hook). */
+    Word warehouseYtd(MemClient &mem) const;
+
+    /** Next order id of district @p d (test hook). */
+    Word districtNextOrderId(MemClient &mem, unsigned d) const;
+
+    /** Customer balance (test hook). */
+    Word customerBalance(MemClient &mem, unsigned d, unsigned c) const;
+
+  private:
+    static constexpr unsigned numDistricts = 10;
+    static constexpr unsigned customersPerDistrict = 256;
+    static constexpr unsigned numItems = 8192;
+    /** Per-district directory of recent orders (power of two). */
+    static constexpr unsigned orderDirSlots = 4096;
+    /** Per-district new-order FIFO capacity (power of two). */
+    static constexpr unsigned newOrderSlots = 65536;
+
+    // Record geometries, in 8-byte words.
+    static constexpr unsigned warehouseWords = 8;
+    static constexpr unsigned districtWords = 8;
+    static constexpr unsigned customerWords = 8;
+    static constexpr unsigned itemWords = 4;
+    static constexpr unsigned stockWords = 8;
+    static constexpr unsigned orderWords = 8;
+    static constexpr unsigned orderLineWords = 8;
+    static constexpr unsigned historyWords = 4;
+
+    Addr district(unsigned d) const
+    {
+        return _districts + Addr(d) * districtWords * wordBytes;
+    }
+    Addr customer(unsigned d, unsigned c) const
+    {
+        return _customers +
+               (Addr(d) * customersPerDistrict + c) *
+                   customerWords * wordBytes;
+    }
+    Addr item(unsigned i) const
+    {
+        return _items + Addr(i) * itemWords * wordBytes;
+    }
+    Addr stock(unsigned i) const
+    {
+        return _stock + Addr(i) * stockWords * wordBytes;
+    }
+    Addr orderDirSlot(unsigned d, std::uint64_t o_id) const
+    {
+        return _orderDir +
+               (Addr(d) * orderDirSlots + o_id % orderDirSlots) *
+                   wordBytes;
+    }
+
+    void txNewOrder(MemClient &mem, PmHeap &heap, Rng &rng);
+    void txPayment(MemClient &mem, PmHeap &heap, Rng &rng);
+    void txOrderStatus(MemClient &mem, Rng &rng);
+    void txDelivery(MemClient &mem, Rng &rng);
+    void txStockLevel(MemClient &mem, Rng &rng);
+
+    bool _allTxTypes;
+    std::uint64_t _clock = 1;   //!< logical timestamp for entry_d fields
+
+    Addr _warehouse = 0;
+    Addr _districts = 0;
+    Addr _customers = 0;
+    Addr _items = 0;
+    Addr _stock = 0;
+    Addr _orderDir = 0;
+    Addr _newOrderRing = 0;   //!< per-district rings
+    Addr _newOrderHead = 0;   //!< per-district head indices
+    Addr _newOrderTail = 0;   //!< per-district tail indices
+    Addr _custLastOrder = 0;  //!< per-customer last order address
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_TPCC_WORKLOAD_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Transaction trace format produced by the workload generators and
+ * consumed by the timing simulator's replay cores.
+ */
+
+#ifndef SILO_WORKLOAD_TRACE_HH
+#define SILO_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace silo::workload
+{
+
+/** One replayable operation. */
+struct TxOp
+{
+    enum class Kind : std::uint8_t
+    {
+        TxBegin,
+        Load,
+        Store,
+        TxEnd,
+    };
+
+    Kind kind;
+    Addr addr = 0;    //!< word-aligned address (Load/Store)
+    Word value = 0;   //!< stored value (Store only)
+};
+
+/** The full operation stream of one thread. */
+struct ThreadTrace
+{
+    std::vector<TxOp> ops;
+    std::uint64_t numTransactions = 0;
+};
+
+/** Trace + initial memory image for a whole multi-threaded run. */
+struct WorkloadTraces
+{
+    std::vector<ThreadTrace> threads;
+    /** PM contents after the (untimed) setup phase. */
+    std::unordered_map<Addr, Word> initialMemory;
+    /** PM contents after functionally applying every transaction. */
+    std::unordered_map<Addr, Word> finalMemory;
+};
+
+/** Per-transaction write statistics (drives Fig. 4). */
+struct WriteSetStats
+{
+    double avgStoreOps = 0;        //!< stores per transaction
+    double avgUniqueWords = 0;     //!< distinct words written per tx
+    double avgWriteSetBytes = 0;   //!< distinct words * 8 (Fig. 4 metric)
+    std::uint64_t maxUniqueWords = 0;
+};
+
+/** Compute write-set statistics over a thread trace. */
+inline WriteSetStats
+analyzeWriteSets(const ThreadTrace &trace)
+{
+    WriteSetStats out;
+    std::uint64_t tx_count = 0;
+    std::uint64_t total_stores = 0;
+    std::uint64_t total_unique = 0;
+    std::unordered_set<Addr> unique;
+    std::uint64_t stores = 0;
+
+    for (const auto &op : trace.ops) {
+        switch (op.kind) {
+          case TxOp::Kind::TxBegin:
+            unique.clear();
+            stores = 0;
+            break;
+          case TxOp::Kind::Store:
+            unique.insert(op.addr);
+            ++stores;
+            break;
+          case TxOp::Kind::TxEnd:
+            ++tx_count;
+            total_stores += stores;
+            total_unique += unique.size();
+            out.maxUniqueWords =
+                std::max<std::uint64_t>(out.maxUniqueWords, unique.size());
+            break;
+          case TxOp::Kind::Load:
+            break;
+        }
+    }
+    if (tx_count) {
+        out.avgStoreOps = double(total_stores) / double(tx_count);
+        out.avgUniqueWords = double(total_unique) / double(tx_count);
+        out.avgWriteSetBytes = out.avgUniqueWords * wordBytes;
+    }
+    return out;
+}
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_TRACE_HH

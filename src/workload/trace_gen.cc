@@ -1,0 +1,58 @@
+#include "workload/trace_gen.hh"
+
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "workload/func_mem.hh"
+#include "workload/trace_recorder.hh"
+
+namespace silo::workload
+{
+
+WorkloadTraces
+generateTraces(const TraceGenConfig &cfg)
+{
+    WorkloadTraces out;
+    out.threads.resize(cfg.numThreads);
+
+    FuncMem mem;
+    std::vector<std::unique_ptr<Workload>> workloads;
+    std::vector<Rng> rngs;
+    std::vector<PmHeap> heaps;
+    std::vector<std::unique_ptr<TraceRecorder>> recorders;
+
+    // Phase 1: setup every thread (untimed, unrecorded) so the initial
+    // PM image is complete before any transaction is recorded.
+    for (unsigned t = 0; t < cfg.numThreads; ++t) {
+        workloads.push_back(makeWorkload(cfg.kind, cfg.options));
+        rngs.emplace_back(cfg.seed * 1000003 + t);
+        heaps.push_back(PmHeap::forThread(t));
+        recorders.push_back(
+            std::make_unique<TraceRecorder>(mem, out.threads[t]));
+        workloads[t]->setup(*recorders[t], heaps[t], rngs[t]);
+    }
+
+    out.initialMemory = mem.words();
+
+    // Phase 2: record each thread's transactions. Thread arenas are
+    // disjoint so per-thread sequential generation composes into any
+    // timing-level interleaving.
+    for (unsigned t = 0; t < cfg.numThreads; ++t) {
+        recorders[t]->setRecording(true);
+        for (std::uint64_t i = 0; i < cfg.transactionsPerThread; ++i) {
+            recorders[t]->txBegin();
+            for (unsigned op = 0; op < cfg.opsPerTransaction; ++op) {
+                workloads[t]->transaction(*recorders[t], heaps[t],
+                                          rngs[t]);
+            }
+            recorders[t]->txEnd();
+        }
+        recorders[t]->setRecording(false);
+    }
+
+    out.finalMemory = mem.words();
+    return out;
+}
+
+} // namespace silo::workload

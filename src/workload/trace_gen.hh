@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Multi-threaded trace generation.
+ *
+ * Runs each thread's workload functionally (setup untimed, then N
+ * transactions recorded) and produces the initial/final PM images plus
+ * per-thread operation traces for the timing simulator. Because thread
+ * arenas are disjoint, one shared functional memory holds the truth for
+ * all threads.
+ */
+
+#ifndef SILO_WORKLOAD_TRACE_GEN_HH
+#define SILO_WORKLOAD_TRACE_GEN_HH
+
+#include <cstdint>
+
+#include "workload/trace.hh"
+#include "workload/workload.hh"
+
+namespace silo::workload
+{
+
+/** Parameters of one trace-generation run. */
+struct TraceGenConfig
+{
+    WorkloadKind kind = WorkloadKind::Hash;
+    unsigned numThreads = 1;
+    std::uint64_t transactionsPerThread = 1000;
+    /** Logical operations packed into each transaction (Fig. 14). */
+    unsigned opsPerTransaction = 1;
+    std::uint64_t seed = 42;
+    WorkloadOptions options;
+};
+
+/** Generate traces for all threads of a run. */
+WorkloadTraces generateTraces(const TraceGenConfig &cfg);
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_TRACE_GEN_HH

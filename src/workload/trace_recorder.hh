@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MemClient that applies accesses to a FuncMem and (optionally) records
+ * them into a ThreadTrace.
+ *
+ * Setup-phase accesses run with recording disabled: the paper times only
+ * the transaction phase, and setup writes define the initial PM image.
+ */
+
+#ifndef SILO_WORKLOAD_TRACE_RECORDER_HH
+#define SILO_WORKLOAD_TRACE_RECORDER_HH
+
+#include "sim/logging.hh"
+#include "workload/func_mem.hh"
+#include "workload/mem_client.hh"
+#include "workload/trace.hh"
+
+namespace silo::workload
+{
+
+/** Records a workload's accesses while applying them functionally. */
+class TraceRecorder : public MemClient
+{
+  public:
+    /**
+     * @param mem The functional memory accesses apply to.
+     * @param trace Destination trace; may be touched only when recording.
+     */
+    TraceRecorder(FuncMem &mem, ThreadTrace &trace)
+        : _mem(mem), _trace(trace)
+    {}
+
+    /** Enable/disable trace capture (setup runs with capture off). */
+    void setRecording(bool on) { _recording = on; }
+    bool recording() const { return _recording; }
+
+    Word
+    load(Addr addr) override
+    {
+        if (_recording && _inTx)
+            _trace.ops.push_back({TxOp::Kind::Load, addr, 0});
+        return _mem.load(addr);
+    }
+
+    void
+    store(Addr addr, Word value) override
+    {
+        if (_recording && _inTx)
+            _trace.ops.push_back({TxOp::Kind::Store, addr, value});
+        else if (_recording && !_inTx)
+            panic("store outside a transaction while recording");
+        _mem.store(addr, value);
+    }
+
+    void
+    txBegin() override
+    {
+        if (_inTx)
+            panic("nested transactions are not supported (§III-A)");
+        _inTx = true;
+        if (_recording)
+            _trace.ops.push_back({TxOp::Kind::TxBegin, 0, 0});
+    }
+
+    void
+    txEnd() override
+    {
+        if (!_inTx)
+            panic("txEnd without txBegin");
+        _inTx = false;
+        if (_recording) {
+            _trace.ops.push_back({TxOp::Kind::TxEnd, 0, 0});
+            ++_trace.numTransactions;
+        }
+    }
+
+  private:
+    FuncMem &_mem;
+    ThreadTrace &_trace;
+    bool _recording = false;
+    bool _inTx = false;
+};
+
+} // namespace silo::workload
+
+#endif // SILO_WORKLOAD_TRACE_RECORDER_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table IV / Table I reproduction tests — the energy model is
+ * analytic, so these check the paper's numbers directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/battery_model.hh"
+
+namespace silo::energy
+{
+namespace
+{
+
+TEST(TableI, PerCoreLogBufferIs680Bytes)
+{
+    SimConfig cfg;
+    auto hw = siloHardwareOverhead(cfg);
+    EXPECT_EQ(hw.logBufferEntriesPerCore, 20u);
+    EXPECT_EQ(hw.logBufferBytesPerCore, 680u);   // 20 x (26 + 8)
+    EXPECT_EQ(hw.comparatorsPerLogBuffer, 20u);
+    EXPECT_EQ(hw.headTailRegisterBytesPerCore, 16u);
+}
+
+TEST(TableI, PerBufferLithiumBatteryMatchesPaper)
+{
+    SimConfig cfg;
+    auto hw = siloHardwareOverhead(cfg);
+    // Table I: 2.125e-4 mm^3 of lithium thin-film per log buffer.
+    EXPECT_NEAR(hw.liBatteryMm3PerLogBuffer, 2.125e-4, 2e-5);
+}
+
+TEST(TableIV, SiloFlushSizeAndEnergy)
+{
+    SimConfig cfg;   // 8 cores
+    auto req = siloBattery(cfg);
+    EXPECT_NEAR(req.flushSizeKB, 5.3125, 1e-9);      // paper: 5.3125
+    EXPECT_NEAR(req.flushEnergyUj, 62.0, 1.5);       // paper: 62
+}
+
+TEST(TableIV, SiloBatteryVolumesAndAreas)
+{
+    SimConfig cfg;
+    auto req = siloBattery(cfg);
+    EXPECT_NEAR(req.capVolumeMm3, 0.17, 0.01);       // paper: 0.17
+    EXPECT_NEAR(req.capAreaMm2, 0.31, 0.01);         // paper: 0.31
+    EXPECT_NEAR(req.liVolumeMm3, 0.0017, 0.0001);    // paper: 0.0017
+    EXPECT_NEAR(req.liAreaMm2, 0.014, 0.001);        // paper: 0.014
+}
+
+TEST(TableIV, BbbRow)
+{
+    SimConfig cfg;
+    auto req = bbbBattery(cfg);
+    EXPECT_NEAR(req.flushSizeKB, 16.0, 1e-9);        // paper: 16
+    EXPECT_NEAR(req.flushEnergyUj, 194.0, 11.0);     // paper: 194
+    EXPECT_NEAR(req.capVolumeMm3, 0.54, 0.04);       // paper: 0.54
+    EXPECT_NEAR(req.liVolumeMm3, 0.0054, 0.0004);    // paper: 0.0054
+}
+
+TEST(TableIV, EadrRow)
+{
+    SimConfig cfg;
+    auto req = eadrBattery(cfg);
+    // Table II caches: 8x32KB + 8x256KB + 8MB = 10,496 KB.
+    EXPECT_NEAR(req.flushSizeKB / 0.45, 10496.0, 1e-6);
+    EXPECT_NEAR(req.flushEnergyUj, 54377.0, 500.0);  // paper: 54,377
+    EXPECT_NEAR(req.capVolumeMm3, 151.0, 2.0);       // paper: 151
+    EXPECT_NEAR(req.capAreaMm2, 28.4, 0.4);          // paper: 28.4
+    EXPECT_NEAR(req.liVolumeMm3, 1.51, 0.02);        // paper: 1.51
+    EXPECT_NEAR(req.liAreaMm2, 1.32, 0.02);          // paper: 1.32
+}
+
+TEST(TableIV, PaperRatioEadrVsSilo)
+{
+    SimConfig cfg;
+    auto eadr = eadrBattery(cfg);
+    auto silo = siloBattery(cfg);
+    // §VI-E: eADR consumes 888.2x larger Cap volume than Silo
+    // (91.6x area).
+    EXPECT_NEAR(eadr.capVolumeMm3 / silo.capVolumeMm3, 888.2, 15.0);
+    EXPECT_NEAR(eadr.capAreaMm2 / silo.capAreaMm2, 91.6, 2.0);
+}
+
+TEST(TableIV, ScalesWithCoreCount)
+{
+    SimConfig cfg;
+    cfg.numCores = 4;
+    auto req = siloBattery(cfg);
+    EXPECT_NEAR(req.flushSizeKB, 5.3125 / 2, 1e-9);
+}
+
+} // namespace
+} // namespace silo::energy

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Property sweep over the configuration space: correctness (full
+ * commit count and a media image equal to the functional execution)
+ * must hold for every geometry, not just the Table II defaults —
+ * tiny log buffers (constant Silo overflow), tiny WPQs (constant
+ * back-pressure), different on-PM buffer line sizes (different
+ * overflow batch N = ⌊S/18⌋), and multiple memory controllers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/system.hh"
+#include "workload/trace_gen.hh"
+
+namespace silo::harness
+{
+namespace
+{
+
+struct SweepPoint
+{
+    const char *label;
+    unsigned logBufferEntries;
+    unsigned wpqEntries;
+    unsigned onPmBufferLineBytes;
+    unsigned onPmBufferLines;
+    unsigned numMemControllers;
+};
+
+constexpr SweepPoint sweepPoints[] = {
+    {"defaults", 20, 64, 256, 32, 1},
+    {"tiny_log_buffer", 2, 64, 256, 32, 1},
+    {"huge_log_buffer", 512, 64, 256, 32, 1},
+    {"tiny_wpq", 20, 12, 256, 32, 1},
+    {"small_pm_line", 20, 64, 64, 32, 1},
+    {"large_pm_line", 20, 64, 1024, 8, 1},
+    {"one_pm_buffer_line", 20, 64, 256, 1, 1},
+    {"two_mcs", 20, 64, 256, 32, 2},
+    {"stress_combo", 3, 12, 64, 2, 2},
+};
+
+class ConfigSweep : public ::testing::TestWithParam<SweepPoint>
+{
+};
+
+TEST_P(ConfigSweep, SiloStaysCorrect)
+{
+    const SweepPoint &pt = GetParam();
+    workload::TraceGenConfig tg;
+    tg.kind = workload::WorkloadKind::Hash;
+    tg.numThreads = 2;
+    tg.transactionsPerThread = 30;
+    auto traces = workload::generateTraces(tg);
+
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.scheme = SchemeKind::Silo;
+    cfg.logBufferEntries = pt.logBufferEntries;
+    cfg.wpqEntries = pt.wpqEntries;
+    cfg.onPmBufferLineBytes = pt.onPmBufferLineBytes;
+    cfg.onPmBufferLines = pt.onPmBufferLines;
+    cfg.numMemControllers = pt.numMemControllers;
+
+    System sys(cfg, traces);
+    sys.run();
+    EXPECT_EQ(sys.report().committedTransactions, 2u * 30) << pt.label;
+    sys.settle();
+    sys.drainToMedia();
+    for (const auto &[addr, value] : traces.finalMemory) {
+        ASSERT_EQ(sys.pm().media().load(addr), value)
+            << pt.label << " addr 0x" << std::hex << addr;
+    }
+}
+
+TEST_P(ConfigSweep, SiloCrashRecoveryStaysCorrect)
+{
+    const SweepPoint &pt = GetParam();
+    workload::TraceGenConfig tg;
+    tg.kind = workload::WorkloadKind::Bank;
+    tg.numThreads = 2;
+    tg.transactionsPerThread = 25;
+    tg.seed = 23;
+    auto traces = workload::generateTraces(tg);
+
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.scheme = SchemeKind::Silo;
+    cfg.logBufferEntries = pt.logBufferEntries;
+    cfg.wpqEntries = pt.wpqEntries;
+    cfg.onPmBufferLineBytes = pt.onPmBufferLineBytes;
+    cfg.onPmBufferLines = pt.onPmBufferLines;
+    cfg.numMemControllers = pt.numMemControllers;
+
+    System sys(cfg, traces);
+    sys.runEvents(3000);
+    sys.crash();
+    sys.recover();
+
+    std::unordered_map<Addr, Word> expected = traces.initialMemory;
+    for (unsigned t = 0; t < 2; ++t) {
+        std::size_t upto = sys.coreAt(t).committedOpIndex();
+        if (sys.scheme().lastTxCommittedAtCrash(t))
+            upto = std::max(upto,
+                            sys.coreAt(t).commitRequestedOpIndex());
+        for (std::size_t i = 0; i < upto; ++i) {
+            const auto &op = traces.threads[t].ops[i];
+            if (op.kind == workload::TxOp::Kind::Store)
+                expected[op.addr] = op.value;
+        }
+    }
+    for (const auto &[addr, value] : expected) {
+        ASSERT_EQ(sys.pm().media().load(addr), value)
+            << pt.label << " addr 0x" << std::hex << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, ConfigSweep, ::testing::ValuesIn(sweepPoints),
+    [](const ::testing::TestParamInfo<SweepPoint> &info) {
+        return info.param.label;
+    });
+
+} // namespace
+} // namespace silo::harness

@@ -1,0 +1,201 @@
+/** @file Unit tests for the memory controller / WPQ. */
+
+#include <gtest/gtest.h>
+
+#include "mc/mem_controller.hh"
+
+namespace silo::mc
+{
+namespace
+{
+
+struct Fixture
+{
+    SimConfig cfg;
+    EventQueue eq;
+    log::LogRegionStore logs{8};
+    std::unique_ptr<nvm::PmDevice> pm;
+    std::unique_ptr<MemController> mc;
+
+    explicit Fixture(unsigned wpq_entries = 4)
+    {
+        cfg.wpqEntries = wpq_entries;
+        cfg.onPmBufferLines = 64;
+        pm = std::make_unique<nvm::PmDevice>(eq, cfg);
+        mc = std::make_unique<MemController>(eq, cfg, *pm, logs);
+    }
+};
+
+std::array<Word, wordsPerLine>
+lineOf(Word base)
+{
+    std::array<Word, wordsPerLine> v;
+    for (unsigned i = 0; i < wordsPerLine; ++i)
+        v[i] = base + i;
+    return v;
+}
+
+TEST(MemController, LineWriteDrainsToMedia)
+{
+    Fixture f;
+    ASSERT_TRUE(f.mc->tryWriteLine(0x1000, lineOf(100), true));
+    f.eq.run();
+    f.mc->drainAll();
+    EXPECT_EQ(f.pm->media().load(0x1000), 100u);
+    EXPECT_EQ(f.pm->media().load(0x1038), 107u);
+}
+
+TEST(MemController, WordWriteDrainsToMedia)
+{
+    Fixture f;
+    ASSERT_TRUE(f.mc->tryWriteWord(0x2008, 77));
+    f.eq.run();
+    f.mc->drainAll();
+    EXPECT_EQ(f.pm->media().load(0x2008), 77u);
+}
+
+TEST(MemController, SameLineWritesCoalesce)
+{
+    Fixture f(2);
+    ASSERT_TRUE(f.mc->tryWriteWord(0x1000, 1));
+    ASSERT_TRUE(f.mc->tryWriteWord(0x1008, 2));   // same 64B line
+    EXPECT_EQ(f.mc->coalescedWrites(), 1u);
+    EXPECT_EQ(f.mc->acceptedWrites(), 1u);
+}
+
+TEST(MemController, FullWpqRejectsAndNotifiesWaiter)
+{
+    Fixture f(2);
+    ASSERT_TRUE(f.mc->tryWriteLine(0x1000, lineOf(0), false));
+    ASSERT_TRUE(f.mc->tryWriteLine(0x2000, lineOf(0), false));
+    EXPECT_FALSE(f.mc->tryWriteLine(0x3000, lineOf(0), false));
+    EXPECT_EQ(f.mc->fullStalls(), 1u);
+
+    bool woke = false;
+    f.mc->requestWriteSlot([&] { woke = true; });
+    f.eq.run();
+    EXPECT_TRUE(woke);
+}
+
+TEST(MemController, LogWriteIsDurableAtAccept)
+{
+    Fixture f;
+    log::LogRecord rec;
+    rec.kind = log::LogRecord::Kind::UndoRedo;
+    rec.tid = 3;
+    rec.txid = 9;
+    rec.dataAddr = 0xabc0;
+    rec.oldData = 1;
+    rec.newData = 2;
+
+    Addr addr = f.logs.allocate(3, rec.sizeBytes());
+    ASSERT_TRUE(f.mc->tryWriteLog(addr, rec));
+    // Durable immediately — visible even before any drain.
+    auto live = f.logs.liveRecords(3);
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].second.txid, 9);
+    EXPECT_EQ(live[0].second.newData, 2u);
+}
+
+TEST(MemController, EvictionObserverFiresOnEvictedLines)
+{
+    Fixture f;
+    std::vector<Addr> seen;
+    f.mc->setEvictionObserver([&](Addr a) { seen.push_back(a); });
+    ASSERT_TRUE(f.mc->tryWriteLine(0x1000, lineOf(0), true));
+    ASSERT_TRUE(f.mc->tryWriteLine(0x2000, lineOf(0), false));
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], 0x1000u);
+}
+
+TEST(MemController, HeldEntriesDoNotDrainUntilReleased)
+{
+    Fixture f;
+    ASSERT_TRUE(f.mc->tryWriteLine(0x1000, lineOf(50), false, true));
+    EXPECT_EQ(f.mc->heldEntries(), 1u);
+    f.eq.run();
+    f.pm->drainAll();
+    EXPECT_EQ(f.pm->media().load(0x1000), 0u);   // not drained
+
+    f.mc->releaseHeld(0x1000);
+    EXPECT_EQ(f.mc->heldEntries(), 0u);
+    f.eq.run();
+    f.mc->drainAll();
+    EXPECT_EQ(f.pm->media().load(0x1000), 50u);
+}
+
+TEST(MemController, CrashDropsHeldAndDrainsRest)
+{
+    Fixture f;
+    ASSERT_TRUE(f.mc->tryWriteLine(0x1000, lineOf(10), false, false));
+    ASSERT_TRUE(f.mc->tryWriteLine(0x2000, lineOf(20), false, true));
+    f.mc->crashDrain();
+    EXPECT_EQ(f.pm->media().load(0x1000), 10u);   // ADR drained
+    EXPECT_EQ(f.pm->media().load(0x2000), 0u);    // held discarded
+}
+
+TEST(MemController, ReadForwardsFromWpq)
+{
+    Fixture f;
+    ASSERT_TRUE(f.mc->tryWriteLine(0x1000, lineOf(1), false));
+    bool done = false;
+    Tick when = 0;
+    f.mc->read(0x1000, [&] {
+        done = true;
+        when = f.eq.now();
+    });
+    f.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(f.mc->readForwards(), 1u);
+    EXPECT_LE(when, 10u);
+}
+
+TEST(MemController, ReadMissGoesToDevice)
+{
+    Fixture f;
+    bool done = false;
+    Tick when = 0;
+    f.mc->read(0x5000, [&] {
+        done = true;
+        when = f.eq.now();
+    });
+    f.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_GE(when, f.cfg.pmReadCycles);
+}
+
+TEST(LogRegionStore, AllocatePadsAcrossPmLines)
+{
+    log::LogRegionStore logs(2);
+    Addr first = logs.allocate(0, 26);
+    // Fill up to near the 256B boundary.
+    Addr prev = first;
+    for (int i = 0; i < 20; ++i) {
+        Addr a = logs.allocate(0, 26);
+        EXPECT_GT(a, prev);
+        // Never straddles a 256B line.
+        EXPECT_EQ(pmLineAlign(a), pmLineAlign(a + 25));
+        prev = a;
+    }
+}
+
+TEST(LogRegionStore, TruncateDropsLiveRecords)
+{
+    log::LogRegionStore logs(1);
+    log::LogRecord rec;
+    for (int i = 0; i < 5; ++i) {
+        Addr a = logs.allocate(0, rec.sizeBytes());
+        logs.persist(a, rec);
+    }
+    EXPECT_EQ(logs.liveRecords(0).size(), 5u);
+    logs.truncate(0);
+    EXPECT_EQ(logs.liveRecords(0).size(), 0u);
+
+    // New records after truncation are live again.
+    Addr a = logs.allocate(0, rec.sizeBytes());
+    logs.persist(a, rec);
+    EXPECT_EQ(logs.liveRecords(0).size(), 1u);
+}
+
+} // namespace
+} // namespace silo::mc

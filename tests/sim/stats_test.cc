@@ -1,0 +1,116 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace silo::stats
+{
+namespace
+{
+
+TEST(Scalar, CountsAndResets)
+{
+    Scalar s("writes", "number of writes");
+    ++s;
+    s += 41;
+    EXPECT_EQ(s.value(), 42u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Average, MeanMinMax)
+{
+    Average a("lat", "latency");
+    a.sample(10);
+    a.sample(20);
+    a.sample(60);
+    EXPECT_DOUBLE_EQ(a.mean(), 30.0);
+    EXPECT_DOUBLE_EQ(a.minimum(), 10.0);
+    EXPECT_DOUBLE_EQ(a.maximum(), 60.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a("x", "");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.minimum(), 0.0);
+    EXPECT_DOUBLE_EQ(a.maximum(), 0.0);
+}
+
+TEST(Average, ResetClears)
+{
+    Average a("x", "");
+    a.sample(5);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Distribution, BucketsAndOverflow)
+{
+    Distribution d("sz", "sizes", 10, 4);
+    d.sample(0);
+    d.sample(9);
+    d.sample(10);
+    d.sample(35);
+    d.sample(40);     // overflow
+    d.sample(1000);   // overflow
+    ASSERT_EQ(d.buckets().size(), 4u);
+    EXPECT_EQ(d.buckets()[0], 2u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[2], 0u);
+    EXPECT_EQ(d.buckets()[3], 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+    EXPECT_EQ(d.summary().count(), 6u);
+}
+
+TEST(Distribution, ZeroWidthIsClampedToOne)
+{
+    Distribution d("sz", "", 0, 2);
+    d.sample(1);
+    EXPECT_EQ(d.buckets()[1], 1u);
+}
+
+TEST(StatGroup, PrintsRegisteredStats)
+{
+    Scalar s("hits", "cache hits");
+    Average a("lat", "load latency");
+    StatGroup g("l1d");
+    g.addScalar(s);
+    g.addAverage(a);
+    s += 7;
+    a.sample(4);
+
+    std::ostringstream os;
+    g.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("l1d.hits"), std::string::npos);
+    EXPECT_NE(text.find("7"), std::string::npos);
+    EXPECT_NE(text.find("l1d.lat.mean"), std::string::npos);
+    EXPECT_NE(text.find("cache hits"), std::string::npos);
+}
+
+TEST(StatGroup, ResetResetsAll)
+{
+    Scalar s("a", "");
+    Average a("b", "");
+    Distribution d("c", "", 1, 2);
+    StatGroup g;
+    g.addScalar(s);
+    g.addAverage(a);
+    g.addDistribution(d);
+    s += 3;
+    a.sample(1);
+    d.sample(1);
+    g.reset();
+    EXPECT_EQ(s.value(), 0u);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(d.summary().count(), 0u);
+}
+
+} // namespace
+} // namespace silo::stats

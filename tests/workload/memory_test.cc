@@ -1,0 +1,151 @@
+/** @file Unit tests for FuncMem, PmHeap, and TraceRecorder. */
+
+#include <gtest/gtest.h>
+
+#include "sim/address_map.hh"
+#include "workload/func_mem.hh"
+#include "workload/pm_heap.hh"
+#include "workload/trace_recorder.hh"
+
+namespace silo::workload
+{
+namespace
+{
+
+TEST(FuncMem, UnwrittenReadsZero)
+{
+    FuncMem mem;
+    EXPECT_EQ(mem.load(0x1000), 0u);
+    EXPECT_EQ(mem.footprintWords(), 0u);
+}
+
+TEST(FuncMem, StoresAndLoads)
+{
+    FuncMem mem;
+    mem.store(0x1000, 42);
+    mem.store(0x1008, 43);
+    EXPECT_EQ(mem.load(0x1000), 42u);
+    EXPECT_EQ(mem.load(0x1008), 43u);
+    EXPECT_EQ(mem.footprintWords(), 2u);
+}
+
+TEST(FuncMem, UnalignedAccessPanics)
+{
+    FuncMem mem;
+    EXPECT_THROW(mem.store(0x1001, 1), PanicError);
+    EXPECT_THROW((void)mem.load(0x1004), PanicError);
+}
+
+TEST(PmHeap, BumpAllocatesAligned)
+{
+    PmHeap heap(0x1000, 0x1000);
+    Addr a = heap.alloc(8);
+    Addr b = heap.alloc(24, 64);
+    EXPECT_EQ(a, 0x1000u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 8);
+    EXPECT_EQ(heap.allocLines(1) % lineBytes, 0u);
+}
+
+TEST(PmHeap, ExhaustionIsFatal)
+{
+    PmHeap heap(0x1000, 64);
+    heap.alloc(64);
+    EXPECT_THROW(heap.alloc(8), FatalError);
+}
+
+TEST(PmHeap, ThreadArenasDisjoint)
+{
+    PmHeap h0 = PmHeap::forThread(0);
+    PmHeap h1 = PmHeap::forThread(1);
+    EXPECT_EQ(h0.base(), addr_map::dataArenaBase(0));
+    EXPECT_EQ(h1.base(), addr_map::dataArenaBase(1));
+    EXPECT_GE(h1.base(), h0.base() + addr_map::dataArenaBytes);
+    EXPECT_EQ(addr_map::dataArenaOwner(h1.base()), 1u);
+    EXPECT_TRUE(addr_map::inDataRegion(h0.base()));
+    EXPECT_FALSE(addr_map::inDataRegion(addr_map::logAreaBase(0)));
+    EXPECT_TRUE(addr_map::inLogRegion(addr_map::logAreaBase(3)));
+}
+
+TEST(TraceRecorder, SetupPhaseIsNotRecorded)
+{
+    FuncMem mem;
+    ThreadTrace trace;
+    TraceRecorder rec(mem, trace);
+    rec.store(0x1000, 5);
+    EXPECT_TRUE(trace.ops.empty());
+    EXPECT_EQ(mem.load(0x1000), 5u);
+}
+
+TEST(TraceRecorder, RecordsTransactions)
+{
+    FuncMem mem;
+    ThreadTrace trace;
+    TraceRecorder rec(mem, trace);
+    rec.setRecording(true);
+    rec.txBegin();
+    rec.store(0x1000, 7);
+    (void)rec.load(0x1000);
+    rec.txEnd();
+
+    ASSERT_EQ(trace.ops.size(), 4u);
+    EXPECT_EQ(trace.ops[0].kind, TxOp::Kind::TxBegin);
+    EXPECT_EQ(trace.ops[1].kind, TxOp::Kind::Store);
+    EXPECT_EQ(trace.ops[1].addr, 0x1000u);
+    EXPECT_EQ(trace.ops[1].value, 7u);
+    EXPECT_EQ(trace.ops[2].kind, TxOp::Kind::Load);
+    EXPECT_EQ(trace.ops[3].kind, TxOp::Kind::TxEnd);
+    EXPECT_EQ(trace.numTransactions, 1u);
+}
+
+TEST(TraceRecorder, NestedTxPanics)
+{
+    FuncMem mem;
+    ThreadTrace trace;
+    TraceRecorder rec(mem, trace);
+    rec.txBegin();
+    EXPECT_THROW(rec.txBegin(), PanicError);
+}
+
+TEST(TraceRecorder, TxEndWithoutBeginPanics)
+{
+    FuncMem mem;
+    ThreadTrace trace;
+    TraceRecorder rec(mem, trace);
+    EXPECT_THROW(rec.txEnd(), PanicError);
+}
+
+TEST(TraceRecorder, StoreOutsideTxWhileRecordingPanics)
+{
+    FuncMem mem;
+    ThreadTrace trace;
+    TraceRecorder rec(mem, trace);
+    rec.setRecording(true);
+    EXPECT_THROW(rec.store(0x1000, 1), PanicError);
+}
+
+TEST(AnalyzeWriteSets, CountsUniqueWords)
+{
+    ThreadTrace trace;
+    auto push = [&](TxOp::Kind k, Addr a = 0, Word v = 0) {
+        trace.ops.push_back({k, a, v});
+    };
+    push(TxOp::Kind::TxBegin);
+    push(TxOp::Kind::Store, 0x1000, 1);
+    push(TxOp::Kind::Store, 0x1000, 2);   // same word
+    push(TxOp::Kind::Store, 0x1008, 3);
+    push(TxOp::Kind::TxEnd);
+    push(TxOp::Kind::TxBegin);
+    push(TxOp::Kind::Store, 0x2000, 4);
+    push(TxOp::Kind::TxEnd);
+    trace.numTransactions = 2;
+
+    auto stats = analyzeWriteSets(trace);
+    EXPECT_DOUBLE_EQ(stats.avgStoreOps, 2.0);
+    EXPECT_DOUBLE_EQ(stats.avgUniqueWords, 1.5);
+    EXPECT_DOUBLE_EQ(stats.avgWriteSetBytes, 12.0);
+    EXPECT_EQ(stats.maxUniqueWords, 2u);
+}
+
+} // namespace
+} // namespace silo::workload

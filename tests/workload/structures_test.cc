@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Correctness tests for the PM data structures against std:: references.
+ *
+ * These run the structures functionally (no recording) with randomized
+ * operation streams and compare against std::map/std::deque oracles —
+ * the workloads must be real data structures for the paper's locality
+ * and merge behaviour to be faithful.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "workload/btree_workload.hh"
+#include "workload/ctrie_workload.hh"
+#include "workload/func_mem.hh"
+#include "workload/hash_workload.hh"
+#include "workload/queue_workload.hh"
+#include "workload/rbtree_workload.hh"
+#include "workload/rtree_workload.hh"
+#include "workload/trace_recorder.hh"
+
+namespace silo::workload
+{
+namespace
+{
+
+/** Functional harness: memory + recorder (recording off) + heap. */
+struct Harness
+{
+    FuncMem mem;
+    ThreadTrace trace;
+    TraceRecorder rec{mem, trace};
+    PmHeap heap = PmHeap::forThread(0);
+    Rng rng{1234};
+};
+
+// The workloads draw (key, value) pairs from their Rng; because Rng is
+// deterministic, a second "shadow" Rng with the same seed reproduces the
+// exact draws, letting the tests build a std::map oracle of what each
+// structure must contain.
+
+TEST(BtreeStructure, InsertThenLookupWithShadowRng)
+{
+    Harness h;
+    BtreeWorkload tree(1 << 14);
+    Rng wl_rng(555);
+    Rng shadow(555);
+    tree.setup(h.rec, h.heap, wl_rng);
+
+    // Shadow the setup draws to build the oracle.
+    std::map<std::uint64_t, Word> oracle;
+    for (unsigned i = 0; i < 4096; ++i) {
+        std::uint64_t key = shadow.below(1 << 14) + 1;
+        Word value = shadow.next() | 1;
+        oracle[key] = value;
+    }
+    for (int i = 0; i < 3000; ++i) {
+        tree.transaction(h.rec, h.heap, wl_rng);
+        std::uint64_t key = shadow.below(1 << 14) + 1;
+        Word value = shadow.next() | 1;
+        oracle[key] = value;
+    }
+    for (const auto &[key, value] : oracle)
+        ASSERT_EQ(tree.lookup(h.rec, key), value) << "key " << key;
+}
+
+TEST(HashStructure, InsertThenLookupWithShadowRng)
+{
+    Harness h;
+    HashWorkload table(1024);
+    Rng wl_rng(777);
+    Rng shadow(777);
+    table.setup(h.rec, h.heap, wl_rng);
+
+    // Shadow setup: insert() draws key then 14 payload words.
+    std::map<std::uint64_t, Word> oracle;
+    auto shadow_insert = [&] {
+        std::uint64_t key = shadow.next();
+        Word first_payload = shadow.next() | 1;
+        for (int w = 0; w < 13; ++w)
+            shadow.next();
+        oracle[key] = first_payload;
+    };
+    for (unsigned i = 0; i < 1024 / 4; ++i)
+        shadow_insert();
+
+    std::uint64_t base_count = table.size(h.rec);
+    EXPECT_EQ(base_count, 1024u / 4);
+
+    for (int i = 0; i < 500; ++i) {
+        table.transaction(h.rec, h.heap, wl_rng);
+        shadow_insert();
+    }
+    EXPECT_EQ(table.size(h.rec), base_count + 500);
+    for (const auto &[key, payload] : oracle)
+        ASSERT_EQ(table.lookup(h.rec, key), payload);
+}
+
+TEST(HashStructure, RemoveUnlinksAndShrinks)
+{
+    Harness h;
+    HashWorkload table(256);
+    Rng wl_rng(778);
+    Rng shadow(778);
+    table.setup(h.rec, h.heap, wl_rng);
+
+    // Shadow the setup inserts to learn the keys present.
+    std::vector<std::uint64_t> keys;
+    for (unsigned i = 0; i < 256 / 4; ++i) {
+        keys.push_back(shadow.next());
+        for (int w = 0; w < 14; ++w)
+            shadow.next();
+    }
+    std::uint64_t before = table.size(h.rec);
+
+    // Remove half of them; lookups must miss afterwards.
+    for (std::size_t i = 0; i < keys.size(); i += 2) {
+        ASSERT_TRUE(table.remove(h.rec, keys[i]));
+        EXPECT_EQ(table.lookup(h.rec, keys[i]), 0u);
+    }
+    EXPECT_EQ(table.size(h.rec), before - (keys.size() + 1) / 2);
+
+    // The untouched half survives; removing a removed key fails.
+    for (std::size_t i = 1; i < keys.size(); i += 2)
+        EXPECT_NE(table.lookup(h.rec, keys[i]), 0u);
+    EXPECT_FALSE(table.remove(h.rec, keys[0]));
+    EXPECT_FALSE(table.remove(h.rec, 0xdeadbeef));
+}
+
+TEST(QueueStructure, FifoOrderAndStableSize)
+{
+    Harness h;
+    QueueWorkload queue;
+    Rng wl_rng(31);
+    queue.setup(h.rec, h.heap, wl_rng);
+    std::uint64_t size0 = queue.size(h.rec);
+    EXPECT_EQ(size0, 64u);
+
+    for (int i = 0; i < 1000; ++i) {
+        queue.transaction(h.rec, h.heap, wl_rng);
+        ASSERT_EQ(queue.size(h.rec), size0);
+    }
+    EXPECT_NE(queue.front(h.rec), 0u);
+}
+
+TEST(QueueStructure, DrainsToEmptySafely)
+{
+    Harness h;
+    FuncMem mem;
+    ThreadTrace trace;
+    TraceRecorder rec(mem, trace);
+    PmHeap heap = PmHeap::forThread(0);
+    Rng rng(7);
+    QueueWorkload queue;
+    queue.setup(rec, heap, rng);
+    // Dequeue beyond empty must not underflow or corrupt.
+    for (int i = 0; i < 200; ++i)
+        queue.transaction(rec, heap, rng);
+    SUCCEED();
+}
+
+TEST(RBtreeStructure, InvariantsHoldAfterManyInserts)
+{
+    Harness h;
+    RBtreeWorkload tree(1 << 16);
+    Rng wl_rng(91);
+    tree.setup(h.rec, h.heap, wl_rng);
+    EXPECT_GT(tree.validate(h.rec), 0u);
+
+    for (int i = 0; i < 2000; ++i)
+        tree.transaction(h.rec, h.heap, wl_rng);
+    EXPECT_GT(tree.validate(h.rec), 0u);
+}
+
+TEST(RBtreeStructure, LookupMatchesShadowOracle)
+{
+    Harness h;
+    RBtreeWorkload tree(1 << 16);
+    Rng wl_rng(92);
+    Rng shadow(92);
+    tree.setup(h.rec, h.heap, wl_rng);
+
+    std::map<std::uint64_t, Word> oracle;
+    for (unsigned i = 0; i < 4096; ++i) {
+        std::uint64_t key = shadow.below(1 << 16) + 1;
+        Word value = shadow.next() | 1;
+        oracle[key] = value;
+    }
+    for (int i = 0; i < 2000; ++i) {
+        tree.transaction(h.rec, h.heap, wl_rng);
+        std::uint64_t key = shadow.below(1 << 16) + 1;
+        Word value = shadow.next() | 1;
+        oracle[key] = value;
+    }
+    for (const auto &[key, value] : oracle)
+        ASSERT_EQ(tree.lookup(h.rec, key), value);
+}
+
+TEST(RtreeStructure, LookupMatchesShadowOracle)
+{
+    Harness h;
+    RtreeWorkload tree;
+    Rng wl_rng(93);
+    Rng shadow(93);
+    tree.setup(h.rec, h.heap, wl_rng);
+
+    std::map<std::uint64_t, Word> oracle;
+    auto shadow_insert = [&] {
+        std::uint64_t key = shadow.below(1u << RtreeWorkload::keyBits);
+        Word value = shadow.next() | 1;
+        oracle[key] = value;
+    };
+    for (unsigned i = 0; i < 4096; ++i)
+        shadow_insert();
+    for (int i = 0; i < 2000; ++i) {
+        tree.transaction(h.rec, h.heap, wl_rng);
+        shadow_insert();
+    }
+    for (const auto &[key, value] : oracle)
+        ASSERT_EQ(tree.lookup(h.rec, key), value);
+}
+
+TEST(CtrieStructure, LookupMatchesShadowOracle)
+{
+    Harness h;
+    CtrieWorkload trie(1 << 20);
+    Rng wl_rng(94);
+    Rng shadow(94);
+    trie.setup(h.rec, h.heap, wl_rng);
+
+    std::map<std::uint64_t, Word> oracle;
+    auto shadow_insert = [&] {
+        std::uint64_t key = shadow.below(1 << 20) + 1;
+        Word value = shadow.next() | 1;
+        oracle[key] = value;
+    };
+    for (unsigned i = 0; i < 4096; ++i)
+        shadow_insert();
+    for (int i = 0; i < 2000; ++i) {
+        trie.transaction(h.rec, h.heap, wl_rng);
+        shadow_insert();
+    }
+    for (const auto &[key, value] : oracle)
+        ASSERT_EQ(trie.lookup(h.rec, key), value);
+}
+
+} // namespace
+} // namespace silo::workload

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for trace generation: well-formedness, determinism, address
+ * partitioning, replay consistency, and Fig.-4-scale write-set sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "sim/address_map.hh"
+#include "workload/trace_gen.hh"
+
+namespace silo::workload
+{
+namespace
+{
+
+TraceGenConfig
+smallConfig(WorkloadKind kind, unsigned threads = 2,
+            std::uint64_t tx = 50)
+{
+    TraceGenConfig cfg;
+    cfg.kind = kind;
+    cfg.numThreads = threads;
+    cfg.transactionsPerThread = tx;
+    cfg.seed = 7;
+    return cfg;
+}
+
+class TraceWellFormed : public ::testing::TestWithParam<WorkloadKind>
+{
+};
+
+TEST_P(TraceWellFormed, BalancedAndPartitioned)
+{
+    auto traces = generateTraces(smallConfig(GetParam()));
+    ASSERT_EQ(traces.threads.size(), 2u);
+
+    for (unsigned t = 0; t < traces.threads.size(); ++t) {
+        const auto &trace = traces.threads[t];
+        EXPECT_EQ(trace.numTransactions, 50u);
+
+        bool in_tx = false;
+        std::uint64_t tx_seen = 0;
+        for (const auto &op : trace.ops) {
+            switch (op.kind) {
+              case TxOp::Kind::TxBegin:
+                ASSERT_FALSE(in_tx);
+                in_tx = true;
+                break;
+              case TxOp::Kind::TxEnd:
+                ASSERT_TRUE(in_tx);
+                in_tx = false;
+                ++tx_seen;
+                break;
+              case TxOp::Kind::Store:
+              case TxOp::Kind::Load:
+                ASSERT_TRUE(in_tx);
+                ASSERT_TRUE(addr_map::inDataRegion(op.addr));
+                ASSERT_EQ(addr_map::dataArenaOwner(op.addr), t)
+                    << "thread touched a foreign arena";
+                ASSERT_EQ(op.addr % wordBytes, 0u);
+                break;
+            }
+        }
+        EXPECT_FALSE(in_tx);
+        EXPECT_EQ(tx_seen, 50u);
+    }
+}
+
+TEST_P(TraceWellFormed, ReplayOverInitialGivesFinalImage)
+{
+    auto traces = generateTraces(smallConfig(GetParam()));
+    std::unordered_map<Addr, Word> image = traces.initialMemory;
+    for (const auto &trace : traces.threads) {
+        for (const auto &op : trace.ops) {
+            if (op.kind == TxOp::Kind::Store)
+                image[op.addr] = op.value;
+        }
+    }
+    // Every word of the final image must match the replayed image.
+    ASSERT_EQ(image.size(), traces.finalMemory.size());
+    for (const auto &[addr, value] : traces.finalMemory)
+        ASSERT_EQ(image[addr], value) << "addr " << std::hex << addr;
+}
+
+TEST_P(TraceWellFormed, DeterministicForSameSeed)
+{
+    auto a = generateTraces(smallConfig(GetParam(), 1, 20));
+    auto b = generateTraces(smallConfig(GetParam(), 1, 20));
+    ASSERT_EQ(a.threads[0].ops.size(), b.threads[0].ops.size());
+    for (size_t i = 0; i < a.threads[0].ops.size(); ++i) {
+        ASSERT_EQ(a.threads[0].ops[i].addr, b.threads[0].ops[i].addr);
+        ASSERT_EQ(a.threads[0].ops[i].value, b.threads[0].ops[i].value);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, TraceWellFormed,
+    ::testing::ValuesIn(std::begin(allWorkloads),
+                        std::end(allWorkloads)),
+    [](const ::testing::TestParamInfo<WorkloadKind> &info) {
+        return workloadName(info.param);
+    });
+
+TEST(WriteSets, EveryWorkloadWritesWithinFig4Scale)
+{
+    // Fig. 4: write sizes are generally below 0.5 KB per transaction.
+    for (WorkloadKind kind : allWorkloads) {
+        auto traces = generateTraces(smallConfig(kind, 1, 200));
+        auto stats = analyzeWriteSets(traces.threads[0]);
+        EXPECT_GT(stats.avgWriteSetBytes, 0.0) << workloadName(kind);
+        EXPECT_LT(stats.avgWriteSetBytes, 768.0) << workloadName(kind);
+    }
+}
+
+TEST(WriteSets, RelativeOrderMatchesFig4)
+{
+    auto avg = [](WorkloadKind kind) {
+        auto traces = generateTraces(smallConfig(kind, 1, 300));
+        return analyzeWriteSets(traces.threads[0]).avgWriteSetBytes;
+    };
+    // TPCC and Hash are among the largest writers; TATP and Bank are
+    // among the smallest (Fig. 4's relative shape).
+    double tpcc = avg(WorkloadKind::Tpcc);
+    double tatp = avg(WorkloadKind::Tatp);
+    double bank = avg(WorkloadKind::Bank);
+    double hash = avg(WorkloadKind::Hash);
+    EXPECT_GT(tpcc, 100.0);
+    EXPECT_GT(hash, 100.0);
+    EXPECT_GT(tpcc, 2 * tatp);
+    EXPECT_GT(hash, 2 * bank);
+    EXPECT_LT(tatp, 64.0);
+    EXPECT_LT(bank, 64.0);
+}
+
+TEST(WriteSets, OpsPerTransactionScalesWriteSet)
+{
+    auto cfg = smallConfig(WorkloadKind::Hash, 1, 100);
+    auto base = analyzeWriteSets(generateTraces(cfg).threads[0]);
+    cfg.opsPerTransaction = 4;
+    auto scaled = analyzeWriteSets(generateTraces(cfg).threads[0]);
+    EXPECT_NEAR(scaled.avgUniqueWords, 4.0 * base.avgUniqueWords,
+                0.25 * base.avgUniqueWords);
+}
+
+TEST(WriteSets, ArrayStoresAreMostlySilent)
+{
+    // §VI-D: ~90% of Array's stores do not change the word's value.
+    auto traces = generateTraces(smallConfig(WorkloadKind::Array, 1,
+                                             300));
+    std::unordered_map<Addr, Word> image = traces.initialMemory;
+    std::uint64_t silent = 0, total = 0;
+    for (const auto &op : traces.threads[0].ops) {
+        if (op.kind != TxOp::Kind::Store)
+            continue;
+        ++total;
+        if (image[op.addr] == op.value)
+            ++silent;
+        image[op.addr] = op.value;
+    }
+    ASSERT_GT(total, 0u);
+    double silent_frac = double(silent) / double(total);
+    EXPECT_GT(silent_frac, 0.75);
+    EXPECT_LT(silent_frac, 0.95);
+}
+
+} // namespace
+} // namespace silo::workload

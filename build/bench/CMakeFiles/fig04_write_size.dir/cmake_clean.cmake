@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_write_size.dir/fig04_write_size.cc.o"
+  "CMakeFiles/fig04_write_size.dir/fig04_write_size.cc.o.d"
+  "fig04_write_size"
+  "fig04_write_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_write_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

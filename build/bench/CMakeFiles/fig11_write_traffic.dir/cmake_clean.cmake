@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_write_traffic.dir/fig11_write_traffic.cc.o"
+  "CMakeFiles/fig11_write_traffic.dir/fig11_write_traffic.cc.o.d"
+  "fig11_write_traffic"
+  "fig11_write_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_write_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_log_buffer.dir/fig13_log_buffer.cc.o"
+  "CMakeFiles/fig13_log_buffer.dir/fig13_log_buffer.cc.o.d"
+  "fig13_log_buffer"
+  "fig13_log_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_log_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

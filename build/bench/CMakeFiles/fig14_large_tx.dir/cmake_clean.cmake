@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_large_tx.dir/fig14_large_tx.cc.o"
+  "CMakeFiles/fig14_large_tx.dir/fig14_large_tx.cc.o.d"
+  "fig14_large_tx"
+  "fig14_large_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_large_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

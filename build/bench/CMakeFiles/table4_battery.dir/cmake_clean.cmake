@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_battery.dir/table4_battery.cc.o"
+  "CMakeFiles/table4_battery.dir/table4_battery.cc.o.d"
+  "table4_battery"
+  "table4_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpcc_store.dir/tpcc_store.cpp.o"
+  "CMakeFiles/example_tpcc_store.dir/tpcc_store.cpp.o.d"
+  "example_tpcc_store"
+  "example_tpcc_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpcc_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ycsb_kv.dir/ycsb_kv.cpp.o"
+  "CMakeFiles/example_ycsb_kv.dir/ycsb_kv.cpp.o.d"
+  "example_ycsb_kv"
+  "example_ycsb_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ycsb_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

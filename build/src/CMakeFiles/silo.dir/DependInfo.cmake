@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/replay_core.cc" "src/CMakeFiles/silo.dir/core/replay_core.cc.o" "gcc" "src/CMakeFiles/silo.dir/core/replay_core.cc.o.d"
+  "/root/repo/src/energy/battery_model.cc" "src/CMakeFiles/silo.dir/energy/battery_model.cc.o" "gcc" "src/CMakeFiles/silo.dir/energy/battery_model.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/silo.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/silo.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/system.cc" "src/CMakeFiles/silo.dir/harness/system.cc.o" "gcc" "src/CMakeFiles/silo.dir/harness/system.cc.o.d"
+  "/root/repo/src/log/base_scheme.cc" "src/CMakeFiles/silo.dir/log/base_scheme.cc.o" "gcc" "src/CMakeFiles/silo.dir/log/base_scheme.cc.o.d"
+  "/root/repo/src/log/fwb_scheme.cc" "src/CMakeFiles/silo.dir/log/fwb_scheme.cc.o" "gcc" "src/CMakeFiles/silo.dir/log/fwb_scheme.cc.o.d"
+  "/root/repo/src/log/lad_scheme.cc" "src/CMakeFiles/silo.dir/log/lad_scheme.cc.o" "gcc" "src/CMakeFiles/silo.dir/log/lad_scheme.cc.o.d"
+  "/root/repo/src/log/morlog_scheme.cc" "src/CMakeFiles/silo.dir/log/morlog_scheme.cc.o" "gcc" "src/CMakeFiles/silo.dir/log/morlog_scheme.cc.o.d"
+  "/root/repo/src/log/scheme_factory.cc" "src/CMakeFiles/silo.dir/log/scheme_factory.cc.o" "gcc" "src/CMakeFiles/silo.dir/log/scheme_factory.cc.o.d"
+  "/root/repo/src/log/sw_eadr_scheme.cc" "src/CMakeFiles/silo.dir/log/sw_eadr_scheme.cc.o" "gcc" "src/CMakeFiles/silo.dir/log/sw_eadr_scheme.cc.o.d"
+  "/root/repo/src/log/wal_recovery.cc" "src/CMakeFiles/silo.dir/log/wal_recovery.cc.o" "gcc" "src/CMakeFiles/silo.dir/log/wal_recovery.cc.o.d"
+  "/root/repo/src/mc/mc_router.cc" "src/CMakeFiles/silo.dir/mc/mc_router.cc.o" "gcc" "src/CMakeFiles/silo.dir/mc/mc_router.cc.o.d"
+  "/root/repo/src/mc/mem_controller.cc" "src/CMakeFiles/silo.dir/mc/mem_controller.cc.o" "gcc" "src/CMakeFiles/silo.dir/mc/mem_controller.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/silo.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/silo.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/silo.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/silo.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/nvm/pm_device.cc" "src/CMakeFiles/silo.dir/nvm/pm_device.cc.o" "gcc" "src/CMakeFiles/silo.dir/nvm/pm_device.cc.o.d"
+  "/root/repo/src/silo/silo_scheme.cc" "src/CMakeFiles/silo.dir/silo/silo_scheme.cc.o" "gcc" "src/CMakeFiles/silo.dir/silo/silo_scheme.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/silo.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/silo.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/CMakeFiles/silo.dir/sim/table.cc.o" "gcc" "src/CMakeFiles/silo.dir/sim/table.cc.o.d"
+  "/root/repo/src/workload/array_workload.cc" "src/CMakeFiles/silo.dir/workload/array_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/array_workload.cc.o.d"
+  "/root/repo/src/workload/bank_workload.cc" "src/CMakeFiles/silo.dir/workload/bank_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/bank_workload.cc.o.d"
+  "/root/repo/src/workload/btree_workload.cc" "src/CMakeFiles/silo.dir/workload/btree_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/btree_workload.cc.o.d"
+  "/root/repo/src/workload/ctrie_workload.cc" "src/CMakeFiles/silo.dir/workload/ctrie_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/ctrie_workload.cc.o.d"
+  "/root/repo/src/workload/hash_workload.cc" "src/CMakeFiles/silo.dir/workload/hash_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/hash_workload.cc.o.d"
+  "/root/repo/src/workload/queue_workload.cc" "src/CMakeFiles/silo.dir/workload/queue_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/queue_workload.cc.o.d"
+  "/root/repo/src/workload/rbtree_workload.cc" "src/CMakeFiles/silo.dir/workload/rbtree_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/rbtree_workload.cc.o.d"
+  "/root/repo/src/workload/rtree_workload.cc" "src/CMakeFiles/silo.dir/workload/rtree_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/rtree_workload.cc.o.d"
+  "/root/repo/src/workload/tatp_workload.cc" "src/CMakeFiles/silo.dir/workload/tatp_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/tatp_workload.cc.o.d"
+  "/root/repo/src/workload/tpcc_workload.cc" "src/CMakeFiles/silo.dir/workload/tpcc_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/tpcc_workload.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/CMakeFiles/silo.dir/workload/trace_gen.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/trace_gen.cc.o.d"
+  "/root/repo/src/workload/workload_factory.cc" "src/CMakeFiles/silo.dir/workload/workload_factory.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/workload_factory.cc.o.d"
+  "/root/repo/src/workload/ycsb_workload.cc" "src/CMakeFiles/silo.dir/workload/ycsb_workload.cc.o" "gcc" "src/CMakeFiles/silo.dir/workload/ycsb_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

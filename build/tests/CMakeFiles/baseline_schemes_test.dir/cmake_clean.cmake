@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_schemes_test.dir/log/baseline_schemes_test.cc.o"
+  "CMakeFiles/baseline_schemes_test.dir/log/baseline_schemes_test.cc.o.d"
+  "baseline_schemes_test"
+  "baseline_schemes_test.pdb"
+  "baseline_schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_router_test.dir/mc/mc_router_test.cc.o"
+  "CMakeFiles/mc_router_test.dir/mc/mc_router_test.cc.o.d"
+  "mc_router_test"
+  "mc_router_test.pdb"
+  "mc_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_device_test.dir/nvm/pm_device_test.cc.o"
+  "CMakeFiles/pm_device_test.dir/nvm/pm_device_test.cc.o.d"
+  "pm_device_test"
+  "pm_device_test.pdb"
+  "pm_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

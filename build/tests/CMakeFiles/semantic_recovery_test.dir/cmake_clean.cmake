@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_recovery_test.dir/harness/semantic_recovery_test.cc.o"
+  "CMakeFiles/semantic_recovery_test.dir/harness/semantic_recovery_test.cc.o.d"
+  "semantic_recovery_test"
+  "semantic_recovery_test.pdb"
+  "semantic_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

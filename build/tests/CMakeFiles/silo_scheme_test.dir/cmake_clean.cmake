@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_scheme_test.dir/silo/silo_scheme_test.cc.o"
+  "CMakeFiles/silo_scheme_test.dir/silo/silo_scheme_test.cc.o.d"
+  "silo_scheme_test"
+  "silo_scheme_test.pdb"
+  "silo_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/types_config_test.dir/sim/types_config_test.cc.o"
+  "CMakeFiles/types_config_test.dir/sim/types_config_test.cc.o.d"
+  "types_config_test"
+  "types_config_test.pdb"
+  "types_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/types_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

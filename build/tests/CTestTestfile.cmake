@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")
+include("/root/repo/build/tests/battery_model_test[1]_include.cmake")
+include("/root/repo/build/tests/config_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_claims_test[1]_include.cmake")
+include("/root/repo/build/tests/semantic_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_schemes_test[1]_include.cmake")
+include("/root/repo/build/tests/mc_router_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_controller_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/pm_device_test[1]_include.cmake")
+include("/root/repo/build/tests/silo_scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/types_config_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/structures_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_gen_test[1]_include.cmake")

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A transparent LoggingScheme decorator that feeds transaction-side
+ * events (begin, store, Tx_end request/completion, crash, recovery)
+ * into the persistency checker, then forwards to the wrapped scheme.
+ *
+ * The harness installs it only when SimConfig::checker is set, so the
+ * replay cores and schemes are untouched when checking is off.
+ */
+
+#ifndef SILO_CHECK_CHECKED_SCHEME_HH
+#define SILO_CHECK_CHECKED_SCHEME_HH
+
+#include <memory>
+#include <utility>
+
+#include "check/persistency_checker.hh"
+#include "log/logging_scheme.hh"
+
+namespace silo::check
+{
+
+/** Forwarding wrapper that notifies the checker around each hook. */
+class CheckedScheme : public log::LoggingScheme
+{
+  public:
+    CheckedScheme(log::SchemeContext ctx,
+                  std::unique_ptr<log::LoggingScheme> inner,
+                  PersistencyChecker &checker)
+        : LoggingScheme(std::move(ctx)), _inner(std::move(inner)),
+          _checker(checker)
+    {
+    }
+
+    const char *name() const override { return _inner->name(); }
+
+    void
+    txBegin(unsigned core, std::uint16_t txid) override
+    {
+        _checker.onTxBegin(core, txid);
+        _inner->txBegin(core, txid);
+    }
+
+    void
+    store(unsigned core, Addr addr, Word old_val, Word new_val,
+          std::function<void()> done) override
+    {
+        _checker.onStore(core, addr, old_val, new_val);
+        _inner->store(core, addr, old_val, new_val, std::move(done));
+    }
+
+    void
+    txEnd(unsigned core, std::function<void()> done) override
+    {
+        _checker.onTxEndRequested(core);
+        _inner->txEnd(core, [this, core, done = std::move(done)] {
+            _checker.onTxEndComplete(core);
+            done();
+        });
+    }
+
+    void
+    crash() override
+    {
+        _checker.onCrashBegin();
+        _inner->crash();
+        _checker.onBatteryDead();
+    }
+
+    bool
+    lastTxCommittedAtCrash(unsigned core) const override
+    {
+        return _inner->lastTxCommittedAtCrash(core);
+    }
+
+    void
+    recover(WordStore &media) override
+    {
+        _inner->recover(media);
+        _checker.onRecoveryComplete(media, *_inner);
+    }
+
+    const log::SchemeStats &schemeStats() const override
+    {
+        return _inner->schemeStats();
+    }
+
+    /** The wrapped scheme (tests that downcast to a concrete type). */
+    log::LoggingScheme &inner() { return *_inner; }
+
+  private:
+    std::unique_ptr<log::LoggingScheme> _inner;
+    PersistencyChecker &_checker;
+};
+
+} // namespace silo::check
+
+#endif // SILO_CHECK_CHECKED_SCHEME_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The persistency-event observer interface.
+ *
+ * The memory controller, PM device, and log region report
+ * durability-relevant events (domain transitions) through this
+ * interface so the persistency checker (src/check) can shadow the
+ * memory system without those components depending on it. Every hook
+ * has an empty default body and every producer guards its sink pointer,
+ * so a disabled checker costs one null check per event.
+ *
+ * Domain model (§II / §III of the paper): a word moves
+ *   volatile cache -> ADR WPQ -> on-PM buffer -> media,
+ * and becomes durable at WPQ acceptance (the ADR persist point). Log
+ * records additionally pass through the MC's ADR log path while they
+ * retry for a WPQ slot (in-flight records are durable too).
+ */
+
+#ifndef SILO_CHECK_EVENT_SINK_HH
+#define SILO_CHECK_EVENT_SINK_HH
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "log/log_record.hh"
+#include "sim/types.hh"
+
+namespace silo::check
+{
+
+/** Observer of durability-relevant memory-system events. */
+class PersistEventSink
+{
+  public:
+    virtual ~PersistEventSink() = default;
+
+    /** @name ADR domain (memory controller WPQ) */
+    /// @{
+
+    /**
+     * A full 64 B line was accepted into the WPQ (durable unless
+     * @p held — LAD's revocable buffered entries).
+     */
+    virtual void
+    onWpqAcceptLine(Addr line_addr,
+                    const std::array<Word, wordsPerLine> &values,
+                    bool evicted, bool held)
+    {
+        (void)line_addr;
+        (void)values;
+        (void)evicted;
+        (void)held;
+    }
+
+    /** An 8 B word write was accepted (Silo's in-place update path). */
+    virtual void onWpqAcceptWord(Addr word_addr, Word value)
+    {
+        (void)word_addr;
+        (void)value;
+    }
+
+    /** A held (LAD) entry became drainable. */
+    virtual void onHeldRelease(Addr line_addr) { (void)line_addr; }
+
+    /** A held entry was discarded by the crash drain (revocation). */
+    virtual void onHeldDiscard(Addr line_addr) { (void)line_addr; }
+    /// @}
+
+    /** @name PM device */
+    /// @{
+
+    /**
+     * Words of one on-PM buffer line were programmed into the media
+     * (word indices are relative to the 256 B line base).
+     */
+    virtual void
+    onMediaWrite(Addr pm_line,
+                 const std::vector<std::pair<unsigned, Word>> &words,
+                 bool log_region)
+    {
+        (void)pm_line;
+        (void)words;
+        (void)log_region;
+    }
+    /// }@
+
+    /** @name Log region */
+    /// @{
+
+    /** A log record became durable at @p rec_addr. */
+    virtual void onLogPersist(Addr rec_addr, const log::LogRecord &record)
+    {
+        (void)rec_addr;
+        (void)record;
+    }
+
+    /** Thread @p tid 's log was truncated over [@p head, @p tail). */
+    virtual void onLogTruncate(unsigned tid, Addr head, Addr tail)
+    {
+        (void)tid;
+        (void)head;
+        (void)tail;
+    }
+    /// @}
+};
+
+} // namespace silo::check
+
+#endif // SILO_CHECK_EVENT_SINK_HH

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * The persistency checker: an online durability-invariant analysis
+ * pass over the whole memory system.
+ *
+ * The checker shadows every word's persist state across the domains
+ *   volatile cache -> ADR WPQ -> on-PM buffer -> media
+ * plus the battery/ADR-backed log structures, and validates the
+ * scheme-specific durability invariants at store, WPQ-acceptance,
+ * commit, crash, and recovery time:
+ *
+ *  1. log-before-data — no word carrying an uncommitted new value may
+ *     enter the persistent domain (WPQ accept, media program) unless a
+ *     revoking undo record is durable first: in the PM log region, in
+ *     the MC's ADR log path (in-flight), or in a battery/ADR-backed
+ *     scheme structure (Silo's log buffer, MorLog's MC buffer). LAD's
+ *     held entries are exempt — they are revocable by discard.
+ *  2. commit durability — when Tx_end completes, the scheme's commit
+ *     precondition holds: WAL schemes (Base/FWB/MorLog/SW-eADR) have
+ *     every changed word's log record plus the commit marker durable;
+ *     LAD has every changed word accepted into the ADR domain and no
+ *     entry of the transaction still held; Silo has every changed word
+ *     in battery custody, flush-bit-covered, or already accepted.
+ *  3. flush-bit accounting — Silo may set an entry's flush-bit only
+ *     when the WPQ actually accepted an eviction carrying that word's
+ *     current new data, and must not write the word in-place again
+ *     afterwards (double persist).
+ *  4. crash closure — after crash + recovery, the media image must
+ *     equal the checker's own oracle: initial values plus exactly the
+ *     stores of every durably committed transaction.
+ *  5. torn writes — media programming never straddles an on-PM buffer
+ *     line.
+ *
+ * Violations are collected (not fatal) with tick + core + tx + address
+ * provenance; tests and the check_all runner inspect them.
+ */
+
+#ifndef SILO_CHECK_PERSISTENCY_CHECKER_HH
+#define SILO_CHECK_PERSISTENCY_CHECKER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/event_sink.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/word_store.hh"
+
+namespace silo::log
+{
+class LoggingScheme;
+} // namespace silo::log
+
+namespace silo::check
+{
+
+/** The invariant a violation breaks. */
+enum class ViolationKind
+{
+    LogBeforeData,      //!< uncommitted data durable before its undo
+    CommitNotDurable,   //!< Tx_end completed without its precondition
+    HeldReleaseOrdering,//!< LAD held entry mishandled around commit
+    FlushBitAccounting, //!< flush-bit set without a matching eviction
+    DoublePersist,      //!< flush-bit-covered word written again
+    TornWrite,          //!< media write straddles an on-PM buffer line
+    CrashClosure,       //!< recovered image differs from the oracle
+};
+
+/** @return short display name of a violation kind. */
+const char *violationName(ViolationKind kind);
+
+/** One detected invariant violation, with provenance. */
+struct Violation
+{
+    ViolationKind kind;
+    Tick tick = 0;          //!< simulated time of detection
+    unsigned core = 0;      //!< owning core (or 0 if unknown)
+    std::uint16_t txid = 0; //!< owning transaction (or 0 if unknown)
+    Addr addr = 0;          //!< word or line address involved
+    std::string detail;     //!< human-readable description
+};
+
+/** Event counters (observability + tests). */
+struct CheckerCounters
+{
+    std::uint64_t stores = 0;
+    std::uint64_t wpqLineAccepts = 0;
+    std::uint64_t wpqWordAccepts = 0;
+    std::uint64_t logPersists = 0;
+    std::uint64_t mediaLineWrites = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t wordsCheckedAtRecovery = 0;
+};
+
+/** Online durability-invariant checker (see file header). */
+class PersistencyChecker : public PersistEventSink
+{
+  public:
+    PersistencyChecker(const SimConfig &cfg, const EventQueue &eq);
+
+    /** @name Scheme-side events (CheckedScheme and scheme hooks) */
+    /// @{
+    void onTxBegin(unsigned core, std::uint16_t txid);
+    void onStore(unsigned core, Addr addr, Word old_val, Word new_val);
+    void onTxEndRequested(unsigned core);
+    void onTxEndComplete(unsigned core);
+    void onCrashBegin();
+    /** The battery died: scheme-internal shadow coverage is gone. */
+    void onBatteryDead();
+    /** Recovery finished: validate @p media against the oracle. */
+    void onRecoveryComplete(const WordStore &media,
+                            const log::LoggingScheme &inner);
+
+    /** Silo appended an undo entry to the battery-backed log buffer. */
+    void noteBatteryUndo(unsigned core, std::uint16_t txid, Addr addr,
+                         Word old_val);
+    /** MorLog appended an undo entry to its ADR-domain MC buffer. */
+    void noteAdrUndo(unsigned core, std::uint16_t txid, Addr addr,
+                     Word old_val);
+    /** Silo set an entry's flush-bit (claims ADR has @p new_data). */
+    void noteFlushBit(unsigned core, std::uint16_t txid, Addr addr,
+                      Word new_data);
+    /** A record entered the MC's ADR log path (durable, pre-accept). */
+    void onLogInFlight(Addr rec_addr, const log::LogRecord &record);
+    /// @}
+
+    /** @name PersistEventSink (memory-system events) */
+    /// @{
+    void onWpqAcceptLine(Addr line_addr,
+                         const std::array<Word, wordsPerLine> &values,
+                         bool evicted, bool held) override;
+    void onWpqAcceptWord(Addr word_addr, Word value) override;
+    void onHeldRelease(Addr line_addr) override;
+    void onHeldDiscard(Addr line_addr) override;
+    void onMediaWrite(
+        Addr pm_line,
+        const std::vector<std::pair<unsigned, Word>> &words,
+        bool log_region) override;
+    void onLogPersist(Addr rec_addr, const log::LogRecord &record) override;
+    void onLogTruncate(unsigned tid, Addr head, Addr tail) override;
+    /// @}
+
+    /** @name Results */
+    /// @{
+    const std::vector<Violation> &violations() const
+    {
+        return _violations;
+    }
+    bool clean() const { return _violations.empty(); }
+    /** Violations of one kind (mutation tests assert specific kinds). */
+    std::size_t countOf(ViolationKind kind) const;
+    const CheckerCounters &counters() const { return _counters; }
+    /** Print every violation, one line each. */
+    void report(std::ostream &os) const;
+    /// @}
+
+  private:
+    /** Shadow of one transaction seen by the checker. */
+    struct TxShadow
+    {
+        unsigned core = 0;
+        std::uint16_t txid = 0;
+        bool open = false;          //!< begun, Tx_end not yet complete
+        bool endRequested = false;  //!< Tx_end hook entered
+        bool committed = false;     //!< Tx_end done() fired
+        /** addr -> (value before the tx's first store, latest value). */
+        std::map<Addr, std::pair<Word, Word>> writes;
+    };
+
+    using TxKey = std::uint32_t; //!< core << 16 | txid
+
+    static TxKey key(unsigned core, std::uint16_t txid)
+    {
+        return TxKey(core) << 16 | txid;
+    }
+
+    TxShadow *openTxOf(unsigned core);
+
+    /**
+     * A word carrying @p value entered a persistent domain. Checks
+     * invariant 1 when the value is an uncommitted new value.
+     * @param domain "WPQ" or "media" (for the report).
+     */
+    void checkDomainEntry(Addr addr, Word value, bool held,
+                          const char *domain);
+
+    /** @return true if an undo covering (tx, addr) is durable now. */
+    bool undoCoverage(const TxShadow &tx, Addr addr) const;
+
+    /** Invariant 2, dispatched on the configured scheme. */
+    void checkCommit(const TxShadow &tx);
+
+    void violate(ViolationKind kind, unsigned core, std::uint16_t txid,
+                 Addr addr, std::string detail);
+
+    const SimConfig &_cfg;
+    const EventQueue &_eq;
+    bool _crashed = false;
+    bool _batteryDead = false;
+
+    /** Every transaction ever begun. */
+    std::map<TxKey, TxShadow> _txs;
+    /** Latest (possibly open) transaction per core. */
+    std::vector<std::uint16_t> _latestTx;
+    std::vector<bool> _hasTx;
+
+    /** addr -> key of the open tx whose uncommitted value it holds. */
+    std::map<Addr, TxKey> _pendingWriter;
+    /** First value ever observed for each stored word (initial image). */
+    std::map<Addr, Word> _initialValue;
+    /** Values of committed transactions, applied in commit order. */
+    std::map<Addr, Word> _committedImage;
+
+    /** Durable log region: record address -> record (truncation-aware). */
+    std::map<Addr, log::LogRecord> _durableRecords;
+    /** Records in the MC's ADR log path (durable, awaiting accept). */
+    std::map<Addr, log::LogRecord> _inFlightRecords;
+    /** Cumulative per-tx logged undo addresses (survives truncation). */
+    std::map<TxKey, std::set<Addr>> _txLoggedUndo;
+    /** Cumulative per-tx commit markers (survives truncation). */
+    std::set<TxKey> _txMarker;
+
+    /** Battery-backed (Silo) undo coverage: tx -> addrs. */
+    std::map<TxKey, std::set<Addr>> _batteryUndo;
+    /** ADR-buffer (MorLog) undo coverage: tx -> addrs. */
+    std::map<TxKey, std::set<Addr>> _adrUndo;
+
+    /** One held (LAD) WPQ line: durable but revocable by discard. */
+    struct HeldLine
+    {
+        TxKey owner = 0;
+        /** Accepted word values, promoted to _adrValue at release. */
+        std::map<Addr, Word> words;
+    };
+
+    /** Last value accepted into the ADR domain, per word. */
+    std::map<Addr, Word> _adrValue;
+    /** Held (LAD) lines -> owning tx + values. */
+    std::map<Addr, HeldLine> _heldLines;
+    /** Flush-bit claims: word -> new data the ADR supposedly carries. */
+    std::map<Addr, Word> _flushBitDelivered;
+
+    CheckerCounters _counters;
+    std::vector<Violation> _violations;
+};
+
+} // namespace silo::check
+
+#endif // SILO_CHECK_PERSISTENCY_CHECKER_HH

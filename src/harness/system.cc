@@ -1,5 +1,7 @@
 #include "harness/system.hh"
 
+#include "check/checked_scheme.hh"
+
 namespace silo::harness
 {
 
@@ -22,9 +24,22 @@ System::System(const SimConfig &cfg,
                                                        value_of);
 
     auto set_value = [this](Addr a, Word v) { _values.store(a, v); };
-    _scheme = log::makeScheme(log::SchemeContext{
-        _eq, _cfg, *_mc, *_hierarchy, *_logs, *_pm, value_of,
-        set_value});
+    log::SchemeContext ctx{_eq, _cfg, *_mc, *_hierarchy, *_logs, *_pm,
+                           value_of, set_value};
+    if (_cfg.checker) {
+        // Shadow the whole persist path: the checker observes log
+        // persists, WPQ accepts/releases/discards, and media writes,
+        // and the scheme is wrapped so tx boundaries reach it too.
+        _checker = std::make_unique<check::PersistencyChecker>(_cfg, _eq);
+        _logs->setEventSink(_checker.get());
+        _mc->setCheckSink(_checker.get());
+        _pm->setCheckSink(_checker.get());
+        ctx.checker = _checker.get();
+        _scheme = std::make_unique<check::CheckedScheme>(
+            ctx, log::makeScheme(ctx), *_checker);
+    } else {
+        _scheme = log::makeScheme(ctx);
+    }
 
     for (unsigned c = 0; c < _cfg.numCores; ++c) {
         _cores.push_back(std::make_unique<core::ReplayCore>(

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/persistency_checker.hh"
 #include "core/replay_core.hh"
 #include "log/logging_scheme.hh"
 #include "mc/mc_router.hh"
@@ -105,6 +106,8 @@ class System
     unsigned numCores() const { return unsigned(_cores.size()); }
     /** Architectural (pre-crash) values — the running system's view. */
     WordStore &values() { return _values; }
+    /** The persistency checker, or nullptr when cfg.checker is off. */
+    check::PersistencyChecker *checker() { return _checker.get(); }
     /// @}
 
     const SimConfig &config() const { return _cfg; }
@@ -119,6 +122,7 @@ class System
     std::unique_ptr<nvm::PmDevice> _pm;
     std::unique_ptr<mc::McRouter> _mc;
     std::unique_ptr<mem::CacheHierarchy> _hierarchy;
+    std::unique_ptr<check::PersistencyChecker> _checker;
     std::unique_ptr<log::LoggingScheme> _scheme;
     std::vector<std::unique_ptr<core::ReplayCore>> _cores;
     unsigned _finishedCores = 0;

@@ -34,10 +34,25 @@ BaseScheme::store(unsigned core, Addr addr, Word old_val, Word new_val,
 
     // Log first, then force the updated cacheline to PM (the per-write
     // ordering of Fig. 3's undo+redo baseline).
-    writeLogWithRetry(core, rec, [this, core, addr] {
+    switch (_ctx.cfg.mutation) {
+      case MutationKind::DropUndoLog:
+        // Seeded bug: data reaches PM with no undo record at all.
         _ctx.hierarchy.flushLine(core, lineAlign(addr), false,
                                  [this, core] { opFinished(core); });
-    });
+        break;
+      case MutationKind::ReorderLogData:
+        // Seeded bug: the flush races ahead of its log record.
+        _ctx.hierarchy.flushLine(core, lineAlign(addr), false, [] {});
+        writeLogWithRetry(core, rec,
+                          [this, core] { opFinished(core); });
+        break;
+      default:
+        writeLogWithRetry(core, rec, [this, core, addr] {
+            _ctx.hierarchy.flushLine(core, lineAlign(addr), false,
+                                     [this, core] { opFinished(core); });
+        });
+        break;
+    }
 
     if (cs.outstanding <= maxOutstanding)
         done();
@@ -70,6 +85,13 @@ BaseScheme::finishCommit(unsigned core)
 
     auto done = std::move(cs.pendingCommit);
     cs.pendingCommit = nullptr;
+    if (_ctx.cfg.mutation == MutationKind::SkipCommitMarker) {
+        // Seeded bug: Tx_end completes without a durable commit marker.
+        _ctx.logs.truncate(core);
+        cs.lastCommitted = true;
+        done();
+        return;
+    }
     writeLogWithRetry(core, marker, [this, core,
                                      done = std::move(done)] {
         // All data and logs are durable: the log can truncate (a

@@ -43,7 +43,8 @@ LadScheme::lineIsUncommitted(Addr line) const
     if (owner < 0)
         return false;
     const CoreState &cs = _cores[owner];
-    return cs.open && cs.txLines.count(line) && !cs.undoLogged.count(line);
+    return cs.open && cs.txLines.count(line) &&
+           (!cs.undoLogged.count(line) || cs.relieving.count(line));
 }
 
 void
@@ -56,6 +57,7 @@ LadScheme::txBegin(unsigned core, std::uint16_t txid)
     cs.txLines.clear();
     cs.undoImage.clear();
     cs.undoLogged.clear();
+    cs.relieving.clear();
 }
 
 void
@@ -64,8 +66,25 @@ LadScheme::store(unsigned core, Addr addr, Word old_val, Word new_val,
 {
     (void)new_val;
     CoreState &cs = _cores[core];
-    cs.txLines.insert(lineAlign(addr));
-    cs.undoImage.emplace(addr, old_val);   // keep the first (oldest)
+    Addr line = lineAlign(addr);
+    cs.txLines.insert(line);
+    bool first = cs.undoImage.emplace(addr, old_val).second;
+
+    // A first store into a line that already went through slow mode
+    // brings a word the relieve pass never logged: the line is
+    // drainable, so an eviction would put the word's uncommitted value
+    // on media with nothing to revoke it. Persist its undo record now
+    // (durable from the ADR log path on). Lines still mid-relieve are
+    // covered by the relieve callback, which walks undoImage later.
+    if (first && cs.undoLogged.count(line) && !cs.relieving.count(line)) {
+        LogRecord rec;
+        rec.kind = LogRecord::Kind::Undo;
+        rec.tid = std::uint8_t(core);
+        rec.txid = cs.txid;
+        rec.dataAddr = addr;
+        rec.oldData = old_val;
+        writeLogWithRetry(core, rec, [] {});
+    }
     done();
 }
 
@@ -76,11 +95,14 @@ LadScheme::relieveLine(unsigned core, Addr line)
     if (cs.undoLogged.count(line))
         return;
     cs.undoLogged.insert(line);
+    cs.relieving.insert(line);
     ++_fallbacks;
 
     // Slow mode: read the line's old data from PM, then persist undo
     // records for the words this transaction modified, then let the
-    // held entry drain.
+    // held entry drain. Until the records are handed to the MC's ADR
+    // log path the line stays in `relieving`, so evictions racing with
+    // the read are still buffered as held entries.
     _ctx.mc.read(line, [this, core, line] {
         CoreState &cs2 = _cores[core];
         std::vector<std::pair<Addr, Word>> words;
@@ -89,6 +111,7 @@ LadScheme::relieveLine(unsigned core, Addr line)
                 words.emplace_back(addr, old_val);
         }
         if (words.empty()) {
+            cs2.relieving.erase(line);
             _ctx.mc.releaseHeld(line);
             return;
         }
@@ -106,6 +129,9 @@ LadScheme::relieveLine(unsigned core, Addr line)
                     _ctx.mc.releaseHeld(line);
             });
         }
+        // Records are in the ADR log path now (durable): evictions of
+        // the line may drain.
+        cs2.relieving.erase(line);
     });
 }
 
@@ -148,7 +174,8 @@ LadScheme::commitPhase1(unsigned core, std::vector<Addr> lines,
     }
     ++_phase1Lines;
     maybeRelieve();
-    bool held = !_cores[core].undoLogged.count(line);
+    bool held = !_cores[core].undoLogged.count(line) ||
+                _cores[core].relieving.count(line);
     _ctx.hierarchy.flushLine(core, line, held,
                              [this, core, lines = std::move(lines),
                               next, done = std::move(done)]() mutable {
@@ -167,8 +194,10 @@ void
 LadScheme::commitPhase2(unsigned core, std::function<void()> done)
 {
     CoreState &cs = _cores[core];
-    for (Addr line : cs.txLines)
-        _ctx.mc.releaseHeld(line);
+    if (_ctx.cfg.mutation != MutationKind::DropHeldRelease) {
+        for (Addr line : cs.txLines)
+            _ctx.mc.releaseHeld(line);
+    }
     // Undo logs of slow-mode lines are obsolete after commit.
     _ctx.logs.truncate(core);
     cs.open = false;
@@ -176,6 +205,7 @@ LadScheme::commitPhase2(unsigned core, std::function<void()> done)
     cs.txLines.clear();
     cs.undoImage.clear();
     cs.undoLogged.clear();
+    cs.relieving.clear();
     done();
 }
 

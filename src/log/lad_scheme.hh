@@ -60,6 +60,14 @@ class LadScheme : public LoggingScheme
         std::map<Addr, Word> undoImage;
         /** Lines whose undo is already persisted (slow mode). */
         std::set<Addr> undoLogged;
+        /**
+         * Lines mid-relieve: marked undoLogged but their undo records
+         * not yet handed to the MC (the slow-mode PM read is still in
+         * flight). Evictions of these lines must stay held — draining
+         * them would put uncommitted data on media with no durable
+         * undo coverage.
+         */
+        std::set<Addr> relieving;
     };
 
     /** @return core owning @p line, or -1 if outside any data arena. */

@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "check/event_sink.hh"
 #include "sim/address_map.hh"
 #include "sim/logging.hh"
 #include "log/log_record.hh"
@@ -62,6 +63,8 @@ class LogRegionStore
     persist(Addr addr, const LogRecord &record)
     {
         _records[addr] = record;
+        if (_sink)
+            _sink->onLogPersist(addr, record);
     }
 
     /**
@@ -73,10 +76,15 @@ class LogRegionStore
     {
         Addr head = _head.at(tid);
         Addr tail = _tail.at(tid);
+        if (_sink)
+            _sink->onLogTruncate(tid, head, tail);
         _records.erase(_records.lower_bound(head),
                        _records.lower_bound(tail));
         _head[tid] = tail;
     }
+
+    /** Register the persistency checker (nullptr when disabled). */
+    void setEventSink(check::PersistEventSink *sink) { _sink = sink; }
 
     /** Live records of thread @p tid in ascending address order. */
     std::vector<std::pair<Addr, LogRecord>>
@@ -102,6 +110,7 @@ class LogRegionStore
     std::map<Addr, LogRecord> _records;
     std::vector<Addr> _tail;
     std::vector<Addr> _head;
+    check::PersistEventSink *_sink = nullptr;
 };
 
 } // namespace silo::log

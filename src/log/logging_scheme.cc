@@ -1,0 +1,15 @@
+#include "log/logging_scheme.hh"
+
+#include "check/persistency_checker.hh"
+
+namespace silo::log
+{
+
+void
+LoggingScheme::noteInFlightLog(Addr addr, const LogRecord &record)
+{
+    if (_ctx.checker)
+        _ctx.checker->onLogInFlight(addr, record);
+}
+
+} // namespace silo::log

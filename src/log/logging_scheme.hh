@@ -26,6 +26,11 @@
 #include "sim/event_queue.hh"
 #include "sim/word_store.hh"
 
+namespace silo::check
+{
+class PersistencyChecker;
+} // namespace silo::check
+
 namespace silo::log
 {
 
@@ -43,6 +48,10 @@ struct SchemeContext
     /** Write an architectural word (software-logging schemes store
      *  log content through the cache like ordinary data). */
     std::function<void(Addr, Word)> setValue;
+    /** Persistency checker, or nullptr when SimConfig::checker is off.
+     *  Schemes report battery/ADR-structure state through it (src/check
+     *  invariant 1's on-chip coverage sources). */
+    check::PersistencyChecker *checker = nullptr;
 };
 
 /** Common per-scheme statistics. */
@@ -131,7 +140,8 @@ class LoggingScheme
     /** Post-crash recovery: restore atomic durability in @p media. */
     virtual void recover(WordStore &media) { (void)media; }
 
-    const SchemeStats &schemeStats() const { return _stats; }
+    /** Virtual so decorators (check::CheckedScheme) can forward. */
+    virtual const SchemeStats &schemeStats() const { return _stats; }
 
   protected:
     /**
@@ -147,8 +157,16 @@ class LoggingScheme
         ++_stats.logWrites;
         _stats.logBytes += record.sizeBytes();
         _inFlightLogs[addr] = record;
+        noteInFlightLog(addr, record);
         tryPersist(addr, record, std::move(done));
     }
+
+    /**
+     * Tell the checker a record entered the MC's ADR log path (it is
+     * durable from this point even though no WPQ slot accepted it yet).
+     * Out of line so the header needs no checker definition.
+     */
+    void noteInFlightLog(Addr addr, const LogRecord &record);
 
     /** Crash path: make every in-flight log record durable. */
     void

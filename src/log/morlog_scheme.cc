@@ -1,5 +1,6 @@
 #include "log/morlog_scheme.hh"
 
+#include "check/persistency_checker.hh"
 #include "log/wal_recovery.hh"
 
 namespace silo::log
@@ -84,6 +85,8 @@ MorLogScheme::store(unsigned core, Addr addr, Word old_val,
         }
     }
     cs.buffer.push_back(BufEntry{cs.txid, addr, old_val, new_val});
+    if (_ctx.checker)
+        _ctx.checker->noteAdrUndo(core, cs.txid, addr, old_val);
     done();
 }
 

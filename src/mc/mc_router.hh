@@ -96,6 +96,14 @@ class McRouter
     /** Register the observer with every controller. */
     void setEvictionObserver(std::function<void(Addr)> observer);
 
+    /** Register the persistency checker with every controller. */
+    void
+    setCheckSink(check::PersistEventSink *sink)
+    {
+        for (auto &mc : _mcs)
+            mc->setCheckSink(sink);
+    }
+
     void crashDrain();
     void drainAll();
     void printStats(std::ostream &os);

@@ -86,6 +86,9 @@ MemController::tryWriteLine(Addr line_addr,
 
     if (!enqueue(std::move(entry)))
         return false;
+    if (_check)
+        _check->onWpqAcceptLine(lineAlign(line_addr), values, evicted,
+                                held);
     if (evicted && _evictionObserver)
         _evictionObserver(lineAlign(line_addr));
     return true;
@@ -100,7 +103,11 @@ MemController::tryWriteWord(Addr word_addr, Word value)
     entry.bytes = wordBytes;
     entry.words[unsigned((wordAlign(word_addr) - entry.pmLine) /
                          wordBytes)] = value;
-    return enqueue(std::move(entry));
+    if (!enqueue(std::move(entry)))
+        return false;
+    if (_check)
+        _check->onWpqAcceptWord(wordAlign(word_addr), value);
+    return true;
 }
 
 bool
@@ -144,12 +151,16 @@ void
 MemController::releaseHeld(Addr line_addr)
 {
     Addr key = lineAlign(line_addr);
+    bool released = false;
     for (auto &e : _wpq) {
         if (e.held && e.key == key) {
             e.held = false;
             --_heldCount;
+            released = true;
         }
     }
+    if (released && _check)
+        _check->onHeldRelease(key);
     scheduleDrain();
 }
 
@@ -227,6 +238,8 @@ MemController::crashDrain()
     for (const auto &e : _wpq) {
         if (!e.held)
             applyEntry(e);
+        else if (_check)
+            _check->onHeldDiscard(e.key);
     }
     _wpq.clear();
     _heldCount = 0;

@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 
+#include "check/event_sink.hh"
 #include "log/log_region.hh"
 #include "nvm/pm_device.hh"
 #include "sim/config.hh"
@@ -94,6 +95,13 @@ class MemController
     }
 
     /**
+     * Register the persistency checker (nullptr when disabled). Accept,
+     * held-release, and crash-discard events are reported to it before
+     * any scheme observer runs.
+     */
+    void setCheckSink(check::PersistEventSink *sink) { _check = sink; }
+
+    /**
      * Crash: ADR drains every non-held entry into the media and the
      * held (uncommitted LAD) entries are discarded.
      */
@@ -144,6 +152,7 @@ class MemController
     std::deque<WpqEntry> _wpq;
     std::deque<std::function<void()>> _writeWaiters;
     std::function<void(Addr)> _evictionObserver;
+    check::PersistEventSink *_check = nullptr;
     unsigned _heldCount = 0;
     bool _drainScheduled = false;
 

@@ -42,6 +42,11 @@ PmDevice::findLine(Addr pm_line) const
 unsigned
 PmDevice::applyToMedia(const BufferLine &line)
 {
+    if (_check) {
+        std::vector<std::pair<unsigned, Word>> words(line.words.begin(),
+                                                     line.words.end());
+        _check->onMediaWrite(line.base, words, line.logRegion);
+    }
     unsigned changed = 0;
     for (const auto &[idx, value] : line.words) {
         Addr word_addr = line.base + Addr(idx) * wordBytes;

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/event_sink.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -72,6 +73,9 @@ class PmDevice
     /** The media image (word values actually persisted). */
     WordStore &media() { return _media; }
     const WordStore &media() const { return _media; }
+
+    /** Register the persistency checker (nullptr when disabled). */
+    void setCheckSink(check::PersistEventSink *sink) { _check = sink; }
 
     /** @name Statistics */
     /// @{
@@ -141,6 +145,7 @@ class PmDevice
     std::vector<Tick> _banks;
     std::vector<std::function<void()>> _slotWaiters;
     WordStore _media;
+    check::PersistEventSink *_check = nullptr;
 
     stats::StatGroup _stats{"pm"};
     stats::Scalar _wordWrites{"media_word_writes",

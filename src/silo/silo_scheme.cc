@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/persistency_checker.hh"
+
 namespace silo::silo_scheme
 {
 
@@ -37,10 +39,15 @@ SiloScheme::onCachelineEvicted(Addr line)
     if (owner >= _cores.size())
         return;
     CoreState &cs = _cores[owner];
+    bool any_line = _ctx.cfg.mutation == MutationKind::StaleFlushBit;
     for (auto &e : cs.buffer) {
-        if (!e.committed && !e.flushBit && lineAlign(e.addr) == line) {
+        if (!e.committed && !e.flushBit &&
+            (any_line || lineAlign(e.addr) == line)) {
             e.flushBit = true;
             ++_reduction.flushBitsSet;
+            if (_ctx.checker)
+                _ctx.checker->noteFlushBit(owner, e.txid, e.addr,
+                                           e.newData);
         }
     }
 }
@@ -91,9 +98,12 @@ SiloScheme::handleOverflow(unsigned core)
         if (entry.committed) {
             // Post-commit leftover: its new data still needs to reach
             // the data region unless a cacheline eviction covered it.
+            // Stage it so a crash while the write awaits a WPQ slot
+            // still finds the committed value in the battery domain.
             if (!entry.flushBit) {
                 ++_reduction.inPlaceUpdates;
-                writeWordWithRetry(entry.addr, entry.newData, [] {});
+                stageInPlace(core, entry.txid, entry.addr,
+                             entry.newData, 0);
             }
             continue;
         }
@@ -116,28 +126,36 @@ SiloScheme::handleOverflow(unsigned core)
         ++_stats.logWrites;
         _stats.logBytes += undo.sizeBytes();
         _inFlightLogs[rec_addr] = undo;
+        noteInFlightLog(rec_addr, undo);
         // The new data stays in the battery domain (pendingInPlace)
         // until the WPQ accepts it — "they are not lost in the log
         // buffer" (§III-F) — so a crash after the commit but before
         // this write completes still recovers the word via a redo
         // flush.
-        PendingUpdate pending{entry.txid, entry.addr, entry.newData};
-        if (write_data)
-            cs.pendingInPlace.push_back(pending);
-        persistThen(rec_addr, undo, [this, core, write_data, pending] {
-            if (!write_data)
-                return;
-            writeWordWithRetry(pending.addr, pending.newData,
-                               [this, core, pending] {
-                auto &staged = _cores[core].pendingInPlace;
-                for (auto p = staged.begin(); p != staged.end(); ++p) {
-                    if (p->addr == pending.addr &&
-                        p->txid == pending.txid) {
-                        staged.erase(p);
-                        break;
-                    }
+        if (write_data) {
+            // Stage with supersede semantics (one pending value per
+            // word, see stageInPlace); the issue waits for the undo
+            // record's acceptance below.
+            bool superseded = false;
+            for (auto &p : cs.pendingInPlace) {
+                if (p.addr == entry.addr) {
+                    p.txid = entry.txid;
+                    p.newData = entry.newData;
+                    superseded = true;
+                    break;
                 }
-            });
+            }
+            if (!superseded) {
+                cs.pendingInPlace.push_back(
+                    PendingUpdate{entry.txid, entry.addr,
+                                  entry.newData});
+            }
+        }
+        Addr data_addr = entry.addr;
+        persistThen(rec_addr, undo, [this, core, write_data,
+                                     data_addr] {
+            if (write_data)
+                issueInPlace(core, data_addr);
         });
     }
 }
@@ -163,6 +181,11 @@ SiloScheme::store(unsigned core, Addr addr, Word old_val, Word new_val,
         for (auto &e : cs.buffer) {
             if (!e.committed && e.txid == cs.txid && e.addr == addr) {
                 e.newData = new_val;
+                // The merged value supersedes whatever an earlier
+                // eviction delivered: a set flush-bit would make the
+                // crash flush (and drainCommitted) skip this entry and
+                // lose the new data.
+                e.flushBit = false;
                 ++_reduction.merged;
                 done();
                 return;
@@ -177,6 +200,8 @@ SiloScheme::store(unsigned core, Addr addr, Word old_val, Word new_val,
     entry.newData = new_val;
     cs.buffer.push_back(entry);
     ++cs.txAppends;
+    if (_ctx.checker)
+        _ctx.checker->noteBatteryUndo(core, cs.txid, addr, old_val);
 
     if (cs.buffer.size() > _ctx.cfg.logBufferEntries)
         handleOverflow(core);
@@ -199,7 +224,8 @@ SiloScheme::drainCommitted(unsigned core)
             ++it;
             continue;
         }
-        if (it->flushBit) {
+        if (it->flushBit &&
+            _ctx.cfg.mutation != MutationKind::DoubleInPlace) {
             // The evicted cacheline already carries this word.
             it = cs.buffer.erase(it);
             continue;
@@ -208,23 +234,60 @@ SiloScheme::drainCommitted(unsigned core)
         // battery domain until the ADR queue accepts it.
         PendingUpdate pending{it->txid, it->addr, it->newData};
         it = cs.buffer.erase(it);
-        cs.pendingInPlace.push_back(pending);
         ++_reduction.inPlaceUpdates;
         delay += _ctx.cfg.logBufferLatency;
-        _ctx.eq.scheduleAfter(delay, [this, core, pending] {
-            writeWordWithRetry(pending.addr, pending.newData,
-                               [this, core, pending] {
-                auto &staged = _cores[core].pendingInPlace;
-                for (auto p = staged.begin(); p != staged.end(); ++p) {
-                    if (p->addr == pending.addr &&
-                        p->txid == pending.txid) {
-                        staged.erase(p);
-                        break;
-                    }
-                }
-            });
-        });
+        stageInPlace(core, pending.txid, pending.addr, pending.newData,
+                     delay);
     }
+}
+
+void
+SiloScheme::stageInPlace(unsigned core, std::uint16_t txid, Addr addr,
+                         Word value, Cycles delay)
+{
+    auto &staged = _cores[core].pendingInPlace;
+    for (auto &p : staged) {
+        if (p.addr == addr) {
+            // A newer committed value supersedes the staged one; the
+            // already-issued write delivers the latest value when it
+            // is accepted (see issueInPlace).
+            p.txid = txid;
+            p.newData = value;
+            return;
+        }
+    }
+    staged.push_back(PendingUpdate{txid, addr, value});
+    _ctx.eq.scheduleAfter(delay,
+                          [this, core, addr] { issueInPlace(core, addr); });
+}
+
+void
+SiloScheme::issueInPlace(unsigned core, Addr addr)
+{
+    auto &staged = _cores[core].pendingInPlace;
+    auto it = std::find_if(staged.begin(), staged.end(),
+                           [addr](const PendingUpdate &p) {
+                               return p.addr == addr;
+                           });
+    if (it == staged.end())
+        return;   // a crash cleared the stage
+    Word value = it->newData;
+    writeWordWithRetry(addr, value, [this, core, addr, value] {
+        auto &staged2 = _cores[core].pendingInPlace;
+        auto it2 = std::find_if(staged2.begin(), staged2.end(),
+                                [addr](const PendingUpdate &p) {
+                                    return p.addr == addr;
+                                });
+        if (it2 == staged2.end())
+            return;
+        if (it2->newData == value) {
+            staged2.erase(it2);
+            return;
+        }
+        // Superseded while the write was in flight: the word on the
+        // ADR queue is stale, issue the newer value after it.
+        issueInPlace(core, addr);
+    });
 }
 
 void
@@ -267,6 +330,10 @@ SiloScheme::crash()
         CoreState &cs = _cores[core];
         for (const auto &e : cs.buffer) {
             if (!e.committed) {
+                if (_ctx.cfg.mutation ==
+                    MutationKind::SkipCrashUndoFlush) {
+                    continue;
+                }
                 // Uncommitted: flush the undo log to revoke partial
                 // updates; the new data is discarded on chip.
                 LogRecord undo;

@@ -131,6 +131,19 @@ class SiloScheme : public log::LoggingScheme
     /** Background in-place updates of a committed tx's new data. */
     void drainCommitted(unsigned core);
 
+    /**
+     * Stage a committed in-place update and schedule its issue after
+     * @p delay. A word already staged is superseded in place rather
+     * than issued a second time: two independently retrying writes to
+     * the same word can be accepted out of order, letting an older
+     * committed value land last and revert the word on media.
+     */
+    void stageInPlace(unsigned core, std::uint16_t txid, Addr addr,
+                      Word value, Cycles delay);
+
+    /** Issue (or reissue) the staged update for @p addr, if any. */
+    void issueInPlace(unsigned core, Addr addr);
+
     /** Write @p value at @p addr via the MC, retrying on a full WPQ. */
     void writeWordWithRetry(Addr addr, Word value,
                             std::function<void()> on_accept);

@@ -48,6 +48,26 @@ schemeName(SchemeKind kind)
     panic("unknown scheme kind");
 }
 
+/**
+ * Deliberately seeded durability bugs (the checker's mutation harness).
+ *
+ * Each mutant breaks exactly one ordering/accounting rule of one scheme
+ * in a way end-state tests can miss; the persistency checker must flag
+ * every one with a specific violation kind (tests/check). Production
+ * runs keep None.
+ */
+enum class MutationKind
+{
+    None,
+    DropUndoLog,        //!< Base: never write the per-store log record
+    ReorderLogData,     //!< Base: flush the cacheline before its log
+    SkipCommitMarker,   //!< Base: Tx_end completes without the marker
+    DropHeldRelease,    //!< LAD: commit never releases held MC entries
+    StaleFlushBit,      //!< Silo: flush-bits matched on a stale line
+    SkipCrashUndoFlush, //!< Silo: battery drops uncommitted undo logs
+    DoubleInPlace,      //!< Silo: in-place update ignores flush-bits
+};
+
 /** Geometry and latency of one cache level. */
 struct CacheConfig
 {
@@ -122,6 +142,15 @@ struct SimConfig
     /** LAD: per-line issue spacing of the commit phase-1 flush. */
     Cycles ladFlushPerLineCycles = 160;
 
+    // --- Persistency checker (src/check) ---
+    /**
+     * Shadow the memory system with the durability-invariant checker.
+     * Off by default: no checker object exists and every hook site is a
+     * single null-pointer test.
+     */
+    bool checker = false;
+    /** Seeded-bug harness; only meaningful with checker = true. */
+    MutationKind mutation = MutationKind::None;
 
     /** Sanity-check the configuration; fatal() on nonsense values. */
     void

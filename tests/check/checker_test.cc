@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Persistency-checker tests.
+ *
+ * Two halves:
+ *  - Clean runs: every scheme x workload combination, with and without
+ *    crash injection, must produce zero violations — the checker's
+ *    invariants hold on the shipped schemes.
+ *  - Mutation harness: each deliberately seeded durability bug
+ *    (SimConfig::mutation) must be flagged, and flagged as the
+ *    SPECIFIC invariant it breaks — not just "something failed".
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/persistency_checker.hh"
+#include "harness/system.hh"
+#include "workload/trace_gen.hh"
+
+namespace silo::check
+{
+namespace
+{
+
+using harness::System;
+
+workload::WorkloadTraces
+makeTraces(workload::WorkloadKind kind, unsigned threads,
+           unsigned tx_per_thread, std::uint64_t seed,
+           unsigned ops_per_tx = 1)
+{
+    workload::TraceGenConfig tg;
+    tg.kind = kind;
+    tg.numThreads = threads;
+    tg.transactionsPerThread = tx_per_thread;
+    tg.opsPerTransaction = ops_per_tx;
+    tg.seed = seed;
+    return workload::generateTraces(tg);
+}
+
+SimConfig
+checkedConfig(SchemeKind scheme, unsigned cores)
+{
+    SimConfig cfg;
+    cfg.numCores = cores;
+    cfg.scheme = scheme;
+    cfg.checker = true;
+    // A small log buffer provokes Silo's overflow paths too.
+    cfg.logBufferEntries = 12;
+    return cfg;
+}
+
+/** Shrink the caches so lines evict mid-transaction (flush-bit and
+ *  overflow paths need uncommitted data reaching the ADR domain). */
+void
+shrinkCaches(SimConfig &cfg)
+{
+    cfg.l1d = {1024, 2, 4};
+    cfg.l2 = {2048, 2, 12};
+    cfg.l3 = {4096, 4, 28};
+}
+
+std::string
+reportOf(System &sys)
+{
+    std::ostringstream ss;
+    sys.checker()->report(ss);
+    return ss.str();
+}
+
+// --- Clean runs ---------------------------------------------------------
+
+struct CleanCase
+{
+    SchemeKind scheme;
+    workload::WorkloadKind workload;
+};
+
+std::string
+cleanName(const ::testing::TestParamInfo<CleanCase> &info)
+{
+    std::string name = std::string(schemeName(info.param.scheme)) + "_" +
+                       workload::workloadName(info.param.workload);
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            c = '_';
+    }
+    return name;
+}
+
+class CheckerClean : public ::testing::TestWithParam<CleanCase>
+{
+};
+
+TEST_P(CheckerClean, FullRunHasNoViolations)
+{
+    auto traces = makeTraces(GetParam().workload, 2, 20, 11);
+    SimConfig cfg = checkedConfig(GetParam().scheme, 2);
+    System sys(cfg, traces);
+    sys.run();
+    sys.settle();
+    sys.drainToMedia();
+
+    ASSERT_NE(sys.checker(), nullptr);
+    EXPECT_TRUE(sys.checker()->clean()) << reportOf(sys);
+    // The checker actually observed the run.
+    EXPECT_GT(sys.checker()->counters().stores, 0u);
+    EXPECT_GT(sys.checker()->counters().commits, 0u);
+}
+
+TEST_P(CheckerClean, CrashInjectionHasNoViolations)
+{
+    // Odd offsets land the crash in varied micro-states (mid-store,
+    // mid-commit, mid-overflow).
+    for (std::uint64_t crash_events : {97u, 1999u, 7919u}) {
+        auto traces = makeTraces(GetParam().workload, 2, 20, 12);
+        SimConfig cfg = checkedConfig(GetParam().scheme, 2);
+        System sys(cfg, traces);
+        sys.runEvents(crash_events);
+        sys.crash();
+        sys.recover();
+
+        ASSERT_NE(sys.checker(), nullptr);
+        EXPECT_TRUE(sys.checker()->clean())
+            << "crash at " << crash_events << " events:\n"
+            << reportOf(sys);
+        EXPECT_GT(sys.checker()->counters().wordsCheckedAtRecovery, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CheckerClean,
+    ::testing::Values(
+        CleanCase{SchemeKind::Base, workload::WorkloadKind::Array},
+        CleanCase{SchemeKind::Base, workload::WorkloadKind::Queue},
+        CleanCase{SchemeKind::Base, workload::WorkloadKind::Tpcc},
+        CleanCase{SchemeKind::Fwb, workload::WorkloadKind::Array},
+        CleanCase{SchemeKind::Fwb, workload::WorkloadKind::Queue},
+        CleanCase{SchemeKind::Fwb, workload::WorkloadKind::Tpcc},
+        CleanCase{SchemeKind::MorLog, workload::WorkloadKind::Array},
+        CleanCase{SchemeKind::MorLog, workload::WorkloadKind::Queue},
+        CleanCase{SchemeKind::MorLog, workload::WorkloadKind::Tpcc},
+        CleanCase{SchemeKind::Lad, workload::WorkloadKind::Array},
+        CleanCase{SchemeKind::Lad, workload::WorkloadKind::Queue},
+        CleanCase{SchemeKind::Lad, workload::WorkloadKind::Tpcc},
+        CleanCase{SchemeKind::Silo, workload::WorkloadKind::Array},
+        CleanCase{SchemeKind::Silo, workload::WorkloadKind::Queue},
+        CleanCase{SchemeKind::Silo, workload::WorkloadKind::Tpcc},
+        CleanCase{SchemeKind::SwEadr, workload::WorkloadKind::Array},
+        CleanCase{SchemeKind::SwEadr, workload::WorkloadKind::Queue},
+        CleanCase{SchemeKind::SwEadr, workload::WorkloadKind::Tpcc}),
+    cleanName);
+
+TEST_P(CheckerClean, SmallCachesHaveNoViolations)
+{
+    // Heavy eviction pressure exercises flush-bit, held-entry, and
+    // overflow paths without producing false positives.
+    auto traces = makeTraces(GetParam().workload, 2, 20, 13);
+    SimConfig cfg = checkedConfig(GetParam().scheme, 2);
+    shrinkCaches(cfg);
+    System sys(cfg, traces);
+    sys.runEvents(20000);
+    sys.crash();
+    sys.recover();
+    ASSERT_NE(sys.checker(), nullptr);
+    EXPECT_TRUE(sys.checker()->clean()) << reportOf(sys);
+}
+
+TEST_P(CheckerClean, LongTransactionsHaveNoViolations)
+{
+    // Fig. 14-style large transactions under eviction pressure: Silo's
+    // flush-bits actually get set, LAD's slow mode engages, and the FWB
+    // walker meets many dirty uncommitted lines — still zero
+    // violations.
+    auto traces = makeTraces(GetParam().workload, 2, 8, 14, 64);
+    SimConfig cfg = checkedConfig(GetParam().scheme, 2);
+    shrinkCaches(cfg);
+    cfg.logBufferEntries = 256;
+    System sys(cfg, traces);
+    sys.runEvents(12000);
+    sys.crash();
+    sys.recover();
+    ASSERT_NE(sys.checker(), nullptr);
+    EXPECT_TRUE(sys.checker()->clean()) << reportOf(sys);
+}
+
+TEST(CheckerOffByDefault, NoCheckerObjectWithoutFlag)
+{
+    auto traces = makeTraces(workload::WorkloadKind::Array, 1, 2, 1);
+    SimConfig cfg;
+    cfg.numCores = 1;
+    cfg.scheme = SchemeKind::Silo;
+    System sys(cfg, traces);
+    EXPECT_EQ(sys.checker(), nullptr);
+    sys.run();
+}
+
+// --- Mutation harness ---------------------------------------------------
+
+/** Run scheme + mutation to completion; return the checker. */
+PersistencyChecker &
+runMutant(System &sys)
+{
+    sys.run();
+    sys.settle();
+    sys.drainToMedia();
+    return *sys.checker();
+}
+
+/** Run scheme + mutation into a crash + recovery; return the checker. */
+PersistencyChecker &
+runMutantCrash(System &sys, std::uint64_t crash_events)
+{
+    sys.runEvents(crash_events);
+    sys.crash();
+    sys.recover();
+    return *sys.checker();
+}
+
+TEST(CheckerMutation, DropUndoLogFlagsLogBeforeData)
+{
+    auto traces = makeTraces(workload::WorkloadKind::Array, 2, 20, 21);
+    SimConfig cfg = checkedConfig(SchemeKind::Base, 2);
+    cfg.mutation = MutationKind::DropUndoLog;
+    System sys(cfg, traces);
+    PersistencyChecker &chk = runMutant(sys);
+    EXPECT_GT(chk.countOf(ViolationKind::LogBeforeData), 0u)
+        << reportOf(sys);
+}
+
+TEST(CheckerMutation, ReorderLogDataFlagsLogBeforeData)
+{
+    // The data flush races ahead of its log record; the end state is
+    // identical to a correct run, so only an online ordering check can
+    // see this bug.
+    auto traces = makeTraces(workload::WorkloadKind::Array, 2, 20, 22);
+    SimConfig cfg = checkedConfig(SchemeKind::Base, 2);
+    cfg.mutation = MutationKind::ReorderLogData;
+    System sys(cfg, traces);
+    PersistencyChecker &chk = runMutant(sys);
+    EXPECT_GT(chk.countOf(ViolationKind::LogBeforeData), 0u)
+        << reportOf(sys);
+    // And the end state is indeed clean-looking: no crash-closure
+    // complaint exists because no crash happened.
+    EXPECT_EQ(chk.countOf(ViolationKind::CrashClosure), 0u);
+}
+
+TEST(CheckerMutation, SkipCommitMarkerFlagsCommitNotDurable)
+{
+    auto traces = makeTraces(workload::WorkloadKind::Array, 2, 10, 23);
+    SimConfig cfg = checkedConfig(SchemeKind::Base, 2);
+    cfg.mutation = MutationKind::SkipCommitMarker;
+    System sys(cfg, traces);
+    PersistencyChecker &chk = runMutant(sys);
+    EXPECT_GT(chk.countOf(ViolationKind::CommitNotDurable), 0u)
+        << reportOf(sys);
+}
+
+TEST(CheckerMutation, DropHeldReleaseFlagsHeldReleaseOrdering)
+{
+    auto traces = makeTraces(workload::WorkloadKind::Array, 2, 10, 24);
+    SimConfig cfg = checkedConfig(SchemeKind::Lad, 2);
+    cfg.mutation = MutationKind::DropHeldRelease;
+    System sys(cfg, traces);
+    PersistencyChecker &chk = runMutant(sys);
+    EXPECT_GT(chk.countOf(ViolationKind::HeldReleaseOrdering), 0u)
+        << reportOf(sys);
+}
+
+TEST(CheckerMutation, StaleFlushBitFlagsFlushBitAccounting)
+{
+    auto traces = makeTraces(workload::WorkloadKind::Array, 2, 20, 25);
+    SimConfig cfg = checkedConfig(SchemeKind::Silo, 2);
+    shrinkCaches(cfg);
+    cfg.mutation = MutationKind::StaleFlushBit;
+    System sys(cfg, traces);
+    PersistencyChecker &chk = runMutant(sys);
+    EXPECT_GT(chk.countOf(ViolationKind::FlushBitAccounting), 0u)
+        << reportOf(sys);
+}
+
+TEST(CheckerMutation, SkipCrashUndoFlushFlagsCrashClosure)
+{
+    // Crash mid-run with open transactions whose partial updates
+    // reached PM via evictions; without the battery undo flush the
+    // recovered image cannot be closed over committed state.
+    bool flagged = false;
+    for (std::uint64_t crash_events : {7919u, 12000u, 17389u}) {
+        auto traces =
+            makeTraces(workload::WorkloadKind::Array, 2, 8, 26, 64);
+        SimConfig cfg = checkedConfig(SchemeKind::Silo, 2);
+        shrinkCaches(cfg);
+        cfg.logBufferEntries = 256;
+        cfg.mutation = MutationKind::SkipCrashUndoFlush;
+        System sys(cfg, traces);
+        PersistencyChecker &chk = runMutantCrash(sys, crash_events);
+        flagged = flagged ||
+                  chk.countOf(ViolationKind::CrashClosure) > 0 ||
+                  chk.countOf(ViolationKind::LogBeforeData) > 0;
+    }
+    EXPECT_TRUE(flagged)
+        << "no crash point exposed the skipped undo flush";
+}
+
+TEST(CheckerMutation, DoubleInPlaceFlagsDoublePersist)
+{
+    auto traces = makeTraces(workload::WorkloadKind::Array, 2, 8, 27, 64);
+    SimConfig cfg = checkedConfig(SchemeKind::Silo, 2);
+    shrinkCaches(cfg);
+    cfg.logBufferEntries = 256;
+    cfg.mutation = MutationKind::DoubleInPlace;
+    System sys(cfg, traces);
+    PersistencyChecker &chk = runMutant(sys);
+    EXPECT_GT(chk.countOf(ViolationKind::DoublePersist), 0u)
+        << reportOf(sys);
+}
+
+// --- Reporting ----------------------------------------------------------
+
+TEST(CheckerReport, ViolationCarriesProvenance)
+{
+    auto traces = makeTraces(workload::WorkloadKind::Array, 1, 5, 28);
+    SimConfig cfg = checkedConfig(SchemeKind::Base, 1);
+    cfg.mutation = MutationKind::DropUndoLog;
+    System sys(cfg, traces);
+    PersistencyChecker &chk = runMutant(sys);
+    ASSERT_FALSE(chk.clean());
+    const Violation &v = chk.violations().front();
+    EXPECT_EQ(v.kind, ViolationKind::LogBeforeData);
+    EXPECT_NE(v.addr, 0u);
+    EXPECT_FALSE(v.detail.empty());
+
+    std::string text = reportOf(sys);
+    EXPECT_NE(text.find("log-before-data"), std::string::npos);
+    EXPECT_NE(text.find("addr=0x"), std::string::npos);
+}
+
+TEST(CheckerReport, ViolationNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (ViolationKind k :
+         {ViolationKind::LogBeforeData, ViolationKind::CommitNotDurable,
+          ViolationKind::HeldReleaseOrdering,
+          ViolationKind::FlushBitAccounting, ViolationKind::DoublePersist,
+          ViolationKind::TornWrite, ViolationKind::CrashClosure}) {
+        names.insert(violationName(k));
+    }
+    EXPECT_EQ(names.size(), 7u);
+}
+
+} // namespace
+} // namespace silo::check

@@ -9,14 +9,16 @@
  * Part 2 compares Silo against the §II-C strawman the paper argues
  * against: software undo+redo logging on an eADR machine, whose
  * appended log entries pollute the cache and inflate PM write-backs.
+ *
+ * Every variant is one sweep-engine cell with a custom runner that
+ * extracts the Silo reduction statistics where applicable.
  */
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <iostream>
-#include <map>
+#include <vector>
 
-#include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "log/sw_eadr_scheme.hh"
 #include "silo/silo_scheme.hh"
 
@@ -33,53 +35,10 @@ struct AblationRow
     double remainingLogsPerTx = 0;
 };
 
-std::map<std::string, AblationRow> rows;
-harness::TraceCache cache;
-
-workload::TraceGenConfig
-traceConfig(workload::WorkloadKind kind, unsigned ops)
-{
-    workload::TraceGenConfig tg;
-    tg.kind = kind;
-    tg.numThreads = unsigned(harness::envOr("SILO_CORES", 8));
-    tg.transactionsPerThread = harness::envOr("SILO_TX", 300) / ops;
-    tg.opsPerTransaction = ops;
-    return tg;
-}
-
-void
-runVariant(benchmark::State &state, const std::string &label,
-           workload::WorkloadKind kind, SimConfig cfg, unsigned ops)
-{
-    auto tg = traceConfig(kind, ops);
-    cfg.numCores = tg.numThreads;
-    for (auto _ : state) {
-        const auto &traces = cache.get(tg);
-        harness::System sys(cfg, traces);
-        sys.run();
-        sys.settle();
-        sys.drainToMedia();
-        auto report = sys.report();
-        AblationRow row;
-        row.txPerMcy = report.txPerMillionCycles;
-        double tx_count = double(std::max<std::uint64_t>(
-            report.committedTransactions, 1));
-        row.mediaWordsPerTx = double(report.mediaWordWrites) / tx_count;
-        row.busBytesPerTx = double(report.wpqAcceptedBytes) / tx_count;
-        if (auto *silo_p = dynamic_cast<silo_scheme::SiloScheme *>(
-                &sys.scheme())) {
-            row.remainingLogsPerTx =
-                silo_p->reductionStats().remainingLogsPerTx.mean();
-        }
-        rows[label] = row;
-        state.counters["tx_per_Mcy"] = row.txPerMcy;
-    }
-}
-
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
     using workload::WorkloadKind;
 
@@ -140,25 +99,57 @@ main(int argc, char **argv)
                         silo_cfg(true, true, true)});
     variants.push_back({"YCSB/sw-eadr", WorkloadKind::Ycsb, sweadr});
 
-    for (const auto &v : variants) {
-        benchmark::RegisterBenchmark(
-            (std::string("Ablation/") + v.label).c_str(),
-            [v](benchmark::State &s) {
-                runVariant(s, v.label, v.kind, v.cfg, v.ops);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kSecond);
+    std::vector<AblationRow> rows(variants.size());
+    harness::Sweep sweep;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const Variant &v = variants[i];
+        harness::CellSpec spec;
+        spec.trace.kind = v.kind;
+        spec.trace.numThreads =
+            unsigned(harness::envOr("SILO_CORES", 8));
+        spec.trace.transactionsPerThread =
+            harness::envOr("SILO_TX", 300) / v.ops;
+        spec.trace.opsPerTransaction = v.ops;
+        spec.sim = v.cfg;
+        spec.sim.numCores = spec.trace.numThreads;
+        spec.label = std::string("Ablation/") + v.label;
+        spec.runner = [&rows, i](const SimConfig &cfg,
+                                 const workload::WorkloadTraces &tr) {
+            harness::System sys(cfg, tr);
+            sys.run();
+            sys.settle();
+            sys.drainToMedia();
+            auto report = sys.report();
+            AblationRow row;
+            row.txPerMcy = report.txPerMillionCycles;
+            double tx_count = double(std::max<std::uint64_t>(
+                report.committedTransactions, 1));
+            row.mediaWordsPerTx =
+                double(report.mediaWordWrites) / tx_count;
+            row.busBytesPerTx =
+                double(report.wpqAcceptedBytes) / tx_count;
+            if (auto *silo_p =
+                    dynamic_cast<silo_scheme::SiloScheme *>(
+                        &sys.scheme())) {
+                row.remainingLogsPerTx =
+                    silo_p->reductionStats().remainingLogsPerTx.mean();
+            }
+            rows[i] = row;
+            return report;
+        };
+        sweep.add(std::move(spec));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    sweep.run();
+    sweep.writeJson(harness::jsonOutputPath("ablation_mechanisms"),
+                    "ablation_mechanisms");
 
     TablePrinter table("Ablation — Silo mechanisms and the SW-eADR "
                        "strawman (extension)");
     table.header({"Variant", "tx/Mcycle", "media words/tx",
                   "MC-to-PM B/tx", "remaining logs/tx"});
-    for (const auto &v : variants) {
-        const auto &r = rows[v.label];
-        table.row({v.label, TablePrinter::num(r.txPerMcy, 1),
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const auto &r = rows[i];
+        table.row({variants[i].label, TablePrinter::num(r.txPerMcy, 1),
                    TablePrinter::num(r.mediaWordsPerTx, 1),
                    TablePrinter::num(r.busBytesPerTx, 1),
                    TablePrinter::num(r.remainingLogsPerTx, 1)});

@@ -1,0 +1,47 @@
+# ctest script: run a tiny Fig. 12 matrix through the parallel sweep
+# engine and check that the JSON results file is written and parses.
+# Invoked by the bench_smoke test with -DBENCH_BINARY and -DJSON_PATH.
+
+file(REMOVE "${JSON_PATH}")
+
+set(ENV{SILO_TX} 20)
+set(ENV{SILO_MAX_CORES} 2)
+set(ENV{SILO_JOBS} 4)
+set(ENV{SILO_JSON} "${JSON_PATH}")
+
+execute_process(COMMAND "${BENCH_BINARY}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_smoke: ${BENCH_BINARY} exited with ${rc}\n${out}\n${err}")
+endif()
+
+if(NOT EXISTS "${JSON_PATH}")
+    message(FATAL_ERROR
+        "bench_smoke: JSON results file ${JSON_PATH} was not written")
+endif()
+
+# string(JSON) raises a fatal error itself if the file is not valid
+# JSON or the queried members are missing.
+file(READ "${JSON_PATH}" json)
+string(JSON schema GET "${json}" schema)
+if(NOT schema STREQUAL "silo-sweep-v1")
+    message(FATAL_ERROR
+        "bench_smoke: unexpected schema \"${schema}\"")
+endif()
+string(JSON n_cells LENGTH "${json}" cells)
+# SILO_MAX_CORES=2 -> 2 core counts x 7 workloads x 5 schemes.
+if(NOT n_cells EQUAL 70)
+    message(FATAL_ERROR
+        "bench_smoke: expected 70 cells, JSON has ${n_cells}")
+endif()
+string(JSON commits GET "${json}" cells 0 report
+    committed_transactions)
+if(commits LESS 1)
+    message(FATAL_ERROR
+        "bench_smoke: first cell committed ${commits} transactions")
+endif()
+message(STATUS
+    "bench_smoke: ${n_cells} cells OK, JSON parses (${JSON_PATH})")

@@ -4,22 +4,25 @@
  * every scheme over a set of workloads with the durability checker
  * enabled, both to completion and crashed at several event counts
  * (with recovery validated against the committed-image oracle), and
- * prints a pass/fail matrix plus checker event counters.
+ * prints a pass/fail matrix plus checker event counters. The
+ * (scheme × workload × crash point) cells run on the parallel sweep
+ * engine; violation reports are collected per cell and printed in
+ * deterministic order after the sweep.
  *
  * Exit status is non-zero if any cell reports a violation, so the
  * sweep doubles as a CI gate:
  *
  *   ./bench/check_all            # default sweep
- *   SILO_TX=50 SILO_CORES=2 ./bench/check_all
+ *   SILO_TX=50 SILO_CORES=2 SILO_JOBS=8 ./bench/check_all
  */
 
 #include <cstdint>
 #include <iostream>
-#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hh"
+#include "harness/sweep.hh"
 
 namespace
 {
@@ -42,35 +45,9 @@ struct Cell
     std::uint64_t wordsChecked = 0;
     std::uint64_t wpqAccepts = 0;
     std::uint64_t commits = 0;
+    /** Violation details, shown with -v after the sweep finishes. */
+    std::string reportText;
 };
-
-/** One checked run; crash_events == 0 means run to completion. */
-Cell
-runOne(SchemeKind scheme, const workload::WorkloadTraces &traces,
-       unsigned cores, std::uint64_t crash_events, bool verbose)
-{
-    SimConfig cfg;
-    cfg.numCores = cores;
-    cfg.scheme = scheme;
-    cfg.checker = true;
-    harness::System sys(cfg, traces);
-    if (crash_events == 0) {
-        sys.run();
-        sys.settle();
-        sys.drainToMedia();
-    } else {
-        sys.runEvents(crash_events);
-        sys.crash();
-        sys.recover();
-    }
-    const check::PersistencyChecker &ck = *sys.checker();
-    if (!ck.clean() && verbose)
-        ck.report(std::cerr);
-    return Cell{ck.violations().size(),
-                ck.counters().wordsCheckedAtRecovery,
-                ck.counters().wpqLineAccepts + ck.counters().wpqWordAccepts,
-                ck.counters().commits};
-}
 
 } // namespace
 
@@ -88,9 +65,62 @@ main(int argc, char **argv)
     const std::vector<std::uint64_t> crash_points = {
         0, 997, 9973, 99991};
 
-    harness::TraceCache cache;
-    std::uint64_t total_violations = 0;
+    // One cell per (scheme, workload, crash point); crash == 0 means
+    // run to completion.
+    harness::Sweep sweep;
+    std::vector<Cell> cells;
+    for (auto scheme : schemes) {
+        for (auto wl : workloads) {
+            for (std::uint64_t crash : crash_points) {
+                std::size_t slot = cells.size();
+                cells.emplace_back();
+                harness::CellSpec spec;
+                spec.trace.kind = wl;
+                spec.trace.numThreads = cores;
+                spec.trace.transactionsPerThread = tx;
+                spec.trace.seed = seed;
+                spec.sim.numCores = cores;
+                spec.sim.scheme = scheme;
+                spec.sim.checker = true;
+                spec.label = std::string(schemeName(scheme)) + "/" +
+                             workload::workloadName(wl) + "/crash:" +
+                             std::to_string(crash);
+                spec.runner = [&cells, slot, crash](
+                                  const SimConfig &cfg,
+                                  const workload::WorkloadTraces &tr) {
+                    harness::System sys(cfg, tr);
+                    if (crash == 0) {
+                        sys.run();
+                        sys.settle();
+                        sys.drainToMedia();
+                    } else {
+                        sys.runEvents(crash);
+                        sys.crash();
+                        sys.recover();
+                    }
+                    const check::PersistencyChecker &ck =
+                        *sys.checker();
+                    Cell &out = cells[slot];
+                    out.violations = ck.violations().size();
+                    out.wordsChecked =
+                        ck.counters().wordsCheckedAtRecovery;
+                    out.wpqAccepts = ck.counters().wpqLineAccepts +
+                                     ck.counters().wpqWordAccepts;
+                    out.commits = ck.counters().commits;
+                    if (!ck.clean()) {
+                        std::ostringstream os;
+                        ck.report(os);
+                        out.reportText = os.str();
+                    }
+                    return sys.report();
+                };
+                sweep.add(std::move(spec));
+            }
+        }
+    }
+    sweep.run();
 
+    std::uint64_t total_violations = 0;
     TablePrinter table("Persistency checker sweep: violations per "
                        "(scheme, workload), summed over crash points "
                        "{none, ~1k, ~10k, ~100k events}");
@@ -104,23 +134,20 @@ main(int argc, char **argv)
         table.header(header);
     }
 
+    std::size_t slot = 0;
     for (auto scheme : schemes) {
         std::vector<std::string> row{schemeName(scheme)};
         Cell totals;
-        for (auto wl : workloads) {
-            workload::TraceGenConfig tg;
-            tg.kind = wl;
-            tg.numThreads = cores;
-            tg.transactionsPerThread = tx;
-            tg.seed = seed;
-            const auto &traces = cache.get(tg);
+        for ([[maybe_unused]] auto wl : workloads) {
             std::uint64_t cell_violations = 0;
-            for (std::uint64_t crash : crash_points) {
-                Cell c = runOne(scheme, traces, cores, crash, verbose);
+            for ([[maybe_unused]] std::uint64_t crash : crash_points) {
+                const Cell &c = cells[slot++];
                 cell_violations += c.violations;
                 totals.wordsChecked += c.wordsChecked;
                 totals.wpqAccepts += c.wpqAccepts;
                 totals.commits += c.commits;
+                if (verbose && !c.reportText.empty())
+                    std::cerr << c.reportText;
             }
             total_violations += cell_violations;
             row.push_back(cell_violations == 0

@@ -3,76 +3,61 @@
  * Fig. 4: the write size (bytes) in one transaction for the eleven
  * workloads. Regenerated from functional traces — the metric is the
  * per-transaction write set (distinct words x 8 B), which motivates
- * Silo's small 20-entry log buffer (§II-E).
+ * Silo's small 20-entry log buffer (§II-E). Trace generation runs in
+ * parallel on the sweep engine's worker pool; the per-cell runner only
+ * analyzes the cached trace (no timing simulation).
  */
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
-#include <map>
+#include <vector>
 
-#include "harness/experiment.hh"
-#include "workload/trace_gen.hh"
-
-namespace
-{
-
-using namespace silo;
-using namespace silo::workload;
-
-std::map<std::string, WriteSetStats> results;
-
-void
-runWorkload(benchmark::State &state, WorkloadKind kind)
-{
-    TraceGenConfig tg;
-    tg.kind = kind;
-    tg.numThreads = 1;
-    tg.transactionsPerThread =
-        harness::envOr("SILO_TX", 2000);
-    tg.seed = harness::envOr("SILO_SEED", 42);
-
-    for (auto _ : state) {
-        auto traces = generateTraces(tg);
-        auto stats = analyzeWriteSets(traces.threads[0]);
-        results[workloadName(kind)] = stats;
-        state.counters["write_set_B"] = stats.avgWriteSetBytes;
-        state.counters["stores_per_tx"] = stats.avgStoreOps;
-    }
-}
-
-} // namespace
+#include "harness/sweep.hh"
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (auto kind : silo::workload::allWorkloads) {
-        benchmark::RegisterBenchmark(
-            (std::string("Fig04/") + workloadName(kind)).c_str(),
-            [kind](benchmark::State &s) { runWorkload(s, kind); })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
+    using namespace silo;
+    using namespace silo::workload;
+
+    constexpr std::size_t n =
+        sizeof(allWorkloads) / sizeof(allWorkloads[0]);
+    std::vector<WriteSetStats> stats(n);
+
+    harness::Sweep sweep;
+    for (std::size_t i = 0; i < n; ++i) {
+        harness::CellSpec spec;
+        spec.trace.kind = allWorkloads[i];
+        spec.trace.numThreads = 1;
+        spec.trace.transactionsPerThread =
+            harness::envOr("SILO_TX", 2000);
+        spec.trace.seed = harness::envOr("SILO_SEED", 42);
+        spec.label = std::string("Fig04/") +
+                     workloadName(allWorkloads[i]);
+        spec.runner = [&stats, i](const SimConfig &,
+                                  const WorkloadTraces &traces) {
+            stats[i] = analyzeWriteSets(traces.threads[0]);
+            return harness::SimReport{};
+        };
+        sweep.add(std::move(spec));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    sweep.run();
 
     TablePrinter table(
         "Fig. 4 — Write size (bytes) per transaction");
     table.header({"Workload", "write set (B)", "stores/tx",
                   "unique words/tx", "max words/tx"});
     double sum = 0;
-    unsigned n = 0;
-    for (auto kind : silo::workload::allWorkloads) {
-        const auto &s = results[workloadName(kind)];
-        table.row({workloadName(kind),
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &s = stats[i];
+        table.row({workloadName(allWorkloads[i]),
                    TablePrinter::num(s.avgWriteSetBytes, 1),
                    TablePrinter::num(s.avgStoreOps, 1),
                    TablePrinter::num(s.avgUniqueWords, 1),
                    std::to_string(s.maxUniqueWords)});
         sum += s.avgWriteSetBytes;
-        ++n;
     }
-    table.row({"Average", TablePrinter::num(sum / n, 1), "", "", ""});
+    table.row({"Average", TablePrinter::num(sum / double(n), 1), "",
+               "", ""});
     table.print(std::cout);
     std::cout << "# Paper: write sizes are generally below 0.5 KB "
                  "per transaction (§II-E).\n";

@@ -3,61 +3,34 @@
  * Fig. 11: write traffic to the PM physical media, normalized to Base,
  * for 1/2/4/8 cores across the seven benchmarks. The metric is media
  * word writes after on-PM buffer coalescing and data-comparison-write
- * (§III-E, §VI-B).
+ * (§III-E, §VI-B). The matrix runs on the parallel sweep engine;
+ * results land in results/fig11_write_traffic.json.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "matrix_common.hh"
 
-namespace
-{
-
-using namespace silo;
-using namespace silo::bench;
-
-MatrixResults results;
-std::vector<unsigned> coreCounts;
-
-void
-runCores(benchmark::State &state, unsigned cores)
-{
-    for (auto _ : state) {
-        auto partial = runMatrix({cores});
-        for (auto &[key, value] : partial)
-            results[key] = value;
-    }
-    auto silo_avg = results.at(
-        {cores, SchemeKind::Silo, workload::WorkloadKind::Hash});
-    state.counters["silo_media_words"] =
-        double(silo_avg.mediaWordWrites);
-}
-
-} // namespace
-
 int
-main(int argc, char **argv)
+main()
 {
-    using harness::envOr;
-    unsigned max_cores = unsigned(envOr("SILO_MAX_CORES", 8));
-    for (unsigned c = 1; c <= max_cores; c *= 2)
-        coreCounts.push_back(c);
+    using namespace silo;
+    using namespace silo::bench;
 
-    for (unsigned cores : coreCounts) {
-        benchmark::RegisterBenchmark(
-            ("Fig11/cores:" + std::to_string(cores)).c_str(),
-            [cores](benchmark::State &s) { runCores(s, cores); })
-            ->Iterations(1)
-            ->Unit(benchmark::kSecond);
-    }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    unsigned max_cores =
+        unsigned(harness::envOr("SILO_MAX_CORES", 8));
+    std::vector<unsigned> core_counts;
+    for (unsigned c = 1; c <= max_cores; c *= 2)
+        core_counts.push_back(c);
+
+    harness::Sweep sweep;
+    auto results = runMatrix(sweep, core_counts);
+    sweep.writeJson(harness::jsonOutputPath("fig11_write_traffic"),
+                    "fig11_write_traffic");
 
     SimConfig defaults;
     harness::printConfigBanner(defaults, std::cout);
-    for (unsigned cores : coreCounts) {
+    for (unsigned cores : core_counts) {
         auto m = matrixFor(results, cores,
                            [](const harness::SimReport &r) {
                                return double(r.mediaWordWrites);

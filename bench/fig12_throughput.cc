@@ -1,58 +1,35 @@
 /**
  * @file
  * Fig. 12: transaction throughput normalized to Base, for 1/2/4/8
- * cores across the seven benchmarks (§VI-C).
+ * cores across the seven benchmarks (§VI-C). The 140-cell matrix runs
+ * on the parallel sweep engine (SILO_JOBS workers); results land in
+ * results/fig12_throughput.json next to the printed tables.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "matrix_common.hh"
 
-namespace
-{
-
-using namespace silo;
-using namespace silo::bench;
-
-MatrixResults results;
-std::vector<unsigned> coreCounts;
-
-void
-runCores(benchmark::State &state, unsigned cores)
-{
-    for (auto _ : state) {
-        auto partial = runMatrix({cores});
-        for (auto &[key, value] : partial)
-            results[key] = value;
-    }
-    state.counters["cells"] = double(results.size());
-}
-
-} // namespace
-
 int
-main(int argc, char **argv)
+main()
 {
-    using harness::envOr;
-    unsigned max_cores = unsigned(envOr("SILO_MAX_CORES", 8));
-    for (unsigned c = 1; c <= max_cores; c *= 2)
-        coreCounts.push_back(c);
+    using namespace silo;
+    using namespace silo::bench;
 
-    for (unsigned cores : coreCounts) {
-        benchmark::RegisterBenchmark(
-            ("Fig12/cores:" + std::to_string(cores)).c_str(),
-            [cores](benchmark::State &s) { runCores(s, cores); })
-            ->Iterations(1)
-            ->Unit(benchmark::kSecond);
-    }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    unsigned max_cores =
+        unsigned(harness::envOr("SILO_MAX_CORES", 8));
+    std::vector<unsigned> core_counts;
+    for (unsigned c = 1; c <= max_cores; c *= 2)
+        core_counts.push_back(c);
+
+    harness::Sweep sweep;
+    auto results = runMatrix(sweep, core_counts);
+    sweep.writeJson(harness::jsonOutputPath("fig12_throughput"),
+                    "fig12_throughput");
 
     SimConfig defaults;
     harness::printConfigBanner(defaults, std::cout);
-    for (unsigned cores : coreCounts) {
+    for (unsigned cores : core_counts) {
         auto m = matrixFor(results, cores,
                            [](const harness::SimReport &r) {
                                return r.txPerMillionCycles;

@@ -5,15 +5,14 @@
  * entries transactions would produce with no reduction; "remaining"
  * counts what survives log ignorance and merging — the number that
  * sizes the 20-entry log buffer. TPCC runs all five transaction types
- * here, as in the paper.
+ * here, as in the paper. One sweep cell per workload, each with a
+ * custom runner that reads the Silo scheme's reduction statistics.
  */
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
-#include <map>
+#include <vector>
 
-#include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "silo/silo_scheme.hh"
 
 namespace
@@ -29,55 +28,56 @@ struct Fig13Row
     double ignoredPct = 0;
 };
 
-std::map<std::string, Fig13Row> results;
-
-void
-runWorkload(benchmark::State &state, workload::WorkloadKind kind)
-{
-    workload::TraceGenConfig tg;
-    tg.kind = kind;
-    tg.numThreads = unsigned(harness::envOr("SILO_CORES", 8));
-    tg.transactionsPerThread = harness::envOr("SILO_TX", 500);
-    tg.options.tpccAllTxTypes = true;   // §VI-D: all five types
-
-    for (auto _ : state) {
-        auto traces = workload::generateTraces(tg);
-        SimConfig cfg;
-        cfg.numCores = tg.numThreads;
-        cfg.scheme = SchemeKind::Silo;
-        // A large buffer so "remaining" is observed, not clipped.
-        cfg.logBufferEntries = 4096;
-
-        harness::System sys(cfg, traces);
-        sys.run();
-        const auto &red = dynamic_cast<silo_scheme::SiloScheme &>(
-                              sys.scheme()).reductionStats();
-        Fig13Row row;
-        row.total = red.totalLogsPerTx.mean();
-        row.remaining = red.remainingLogsPerTx.mean();
-        row.maxRemaining = red.maxRemainingLogs;
-        double total_logs = red.totalLogsPerTx.sum();
-        row.ignoredPct = total_logs > 0
-            ? 100.0 * double(red.ignored.value()) / total_logs : 0;
-        results[workload::workloadName(kind)] = row;
-        state.counters["remaining"] = row.remaining;
-    }
-}
-
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (auto kind : silo::workload::evaluationWorkloads) {
-        benchmark::RegisterBenchmark(
-            (std::string("Fig13/") + workload::workloadName(kind)).c_str(),
-            [kind](benchmark::State &s) { runWorkload(s, kind); })
-            ->Iterations(1)
-            ->Unit(benchmark::kSecond);
+    constexpr std::size_t n =
+        sizeof(workload::evaluationWorkloads) /
+        sizeof(workload::evaluationWorkloads[0]);
+    std::vector<Fig13Row> rows(n);
+
+    harness::Sweep sweep;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto kind = workload::evaluationWorkloads[i];
+        harness::CellSpec spec;
+        spec.trace.kind = kind;
+        spec.trace.numThreads =
+            unsigned(harness::envOr("SILO_CORES", 8));
+        spec.trace.transactionsPerThread =
+            harness::envOr("SILO_TX", 500);
+        spec.trace.options.tpccAllTxTypes = true; // §VI-D: all five
+        spec.sim.numCores = spec.trace.numThreads;
+        spec.sim.scheme = SchemeKind::Silo;
+        // A large buffer so "remaining" is observed, not clipped.
+        spec.sim.logBufferEntries = 4096;
+        spec.label = std::string("Fig13/") +
+                     workload::workloadName(kind);
+        spec.runner = [&rows, i](const SimConfig &cfg,
+                                 const workload::WorkloadTraces &tr) {
+            harness::System sys(cfg, tr);
+            sys.run();
+            const auto &red =
+                dynamic_cast<silo_scheme::SiloScheme &>(sys.scheme())
+                    .reductionStats();
+            Fig13Row row;
+            row.total = red.totalLogsPerTx.mean();
+            row.remaining = red.remainingLogsPerTx.mean();
+            row.maxRemaining = red.maxRemainingLogs;
+            double total_logs = red.totalLogsPerTx.sum();
+            row.ignoredPct =
+                total_logs > 0
+                    ? 100.0 * double(red.ignored.value()) / total_logs
+                    : 0;
+            rows[i] = row;
+            return sys.report();
+        };
+        sweep.add(std::move(spec));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    sweep.run();
+    sweep.writeJson(harness::jsonOutputPath("fig13_log_buffer"),
+                    "fig13_log_buffer");
 
     TablePrinter table(
         "Fig. 13 — total vs remaining on-chip log entries per "
@@ -85,20 +85,19 @@ main(int argc, char **argv)
     table.header({"Workload", "total", "remaining", "max remaining",
                   "ignored %"});
     double tot = 0, rem = 0;
-    unsigned n = 0;
-    for (auto kind : silo::workload::evaluationWorkloads) {
-        const auto &r = results[workload::workloadName(kind)];
-        table.row({workload::workloadName(kind),
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &r = rows[i];
+        table.row({workload::workloadName(
+                       workload::evaluationWorkloads[i]),
                    TablePrinter::num(r.total, 1),
                    TablePrinter::num(r.remaining, 1),
                    std::to_string(r.maxRemaining),
                    TablePrinter::num(r.ignoredPct, 1)});
         tot += r.total;
         rem += r.remaining;
-        ++n;
     }
-    table.row({"Average", TablePrinter::num(tot / n, 1),
-               TablePrinter::num(rem / n, 1), "", ""});
+    table.row({"Average", TablePrinter::num(tot / double(n), 1),
+               TablePrinter::num(rem / double(n), 1), "", ""});
     table.print(std::cout);
     std::cout << "# Paper: reduction schemes remove 64.3% of logs on "
                  "average; Array ignores 90.4%; the max remaining is "

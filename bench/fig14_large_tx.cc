@@ -4,67 +4,53 @@
  * write set of each transaction is scaled to 1-16x; throughput (a)
  * and PM write traffic (b) are normalized to the 1x configuration.
  * Large write sets overflow the 20-entry log buffer and exercise the
- * batched undo-log eviction path (§III-F).
+ * batched undo-log eviction path (§III-F). The (workload × scale)
+ * matrix runs on the parallel sweep engine.
  */
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <iostream>
 #include <map>
+#include <string>
 
-#include "harness/experiment.hh"
-
-namespace
-{
-
-using namespace silo;
-
-constexpr unsigned scales[] = {1, 2, 4, 8, 16};
-
-std::map<std::pair<std::string, unsigned>, harness::SimReport> results;
-
-void
-runScale(benchmark::State &state, workload::WorkloadKind kind,
-         unsigned scale)
-{
-    workload::TraceGenConfig tg;
-    tg.kind = kind;
-    tg.numThreads = unsigned(harness::envOr("SILO_CORES", 8));
-    tg.transactionsPerThread =
-        std::max<std::uint64_t>(
-            harness::envOr("SILO_TX", 400) / scale, 25);
-    tg.opsPerTransaction = scale;
-
-    for (auto _ : state) {
-        auto traces = workload::generateTraces(tg);
-        SimConfig cfg;
-        cfg.numCores = tg.numThreads;
-        cfg.scheme = SchemeKind::Silo;
-        auto report = harness::runCell(cfg, traces);
-        results[{workload::workloadName(kind), scale}] = report;
-        state.counters["tx_per_Mcy"] = report.txPerMillionCycles;
-    }
-}
-
-} // namespace
+#include "harness/sweep.hh"
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (auto kind : silo::workload::evaluationWorkloads) {
+    using namespace silo;
+
+    constexpr unsigned scales[] = {1, 2, 4, 8, 16};
+
+    harness::Sweep sweep;
+    std::vector<std::pair<std::string, unsigned>> keys;
+    for (auto kind : workload::evaluationWorkloads) {
         for (unsigned scale : scales) {
-            benchmark::RegisterBenchmark(
-                (std::string("Fig14/") + workload::workloadName(kind) +
-                    "/x" + std::to_string(scale)).c_str(),
-                [kind, scale](benchmark::State &s) {
-                    runScale(s, kind, scale);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kSecond);
+            harness::CellSpec spec;
+            spec.trace.kind = kind;
+            spec.trace.numThreads =
+                unsigned(harness::envOr("SILO_CORES", 8));
+            spec.trace.transactionsPerThread =
+                std::max<std::uint64_t>(
+                    harness::envOr("SILO_TX", 400) / scale, 25);
+            spec.trace.opsPerTransaction = scale;
+            spec.sim.numCores = spec.trace.numThreads;
+            spec.sim.scheme = SchemeKind::Silo;
+            spec.label = std::string("Fig14/") +
+                         workload::workloadName(kind) + "/x" +
+                         std::to_string(scale);
+            keys.emplace_back(workload::workloadName(kind), scale);
+            sweep.add(std::move(spec));
         }
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    sweep.run();
+    sweep.writeJson(harness::jsonOutputPath("fig14_large_tx"),
+                    "fig14_large_tx");
+
+    std::map<std::pair<std::string, unsigned>, harness::SimReport>
+        results;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        results[keys[i]] = sweep.results()[i].report;
 
     // Both panels normalize per unit of work: a 16x transaction packs
     // 16x the logical operations, so throughput counts operations and
@@ -75,7 +61,7 @@ main(int argc, char **argv)
         for (unsigned scale : scales)
             header.push_back(std::to_string(scale) + "x");
         table.header(std::move(header));
-        for (auto kind : silo::workload::evaluationWorkloads) {
+        for (auto kind : workload::evaluationWorkloads) {
             std::vector<std::string> cells = {
                 workload::workloadName(kind)};
             double base = metric(

@@ -3,67 +3,51 @@
  * Fig. 15: transaction throughput sensitivity to the access latency
  * of Silo's log buffer, swept from 8 to 128 cycles (§VI-G). Reading
  * and writing the buffer is off the critical path, so throughput
- * should stay nearly flat.
+ * should stay nearly flat. All six latencies of one workload share a
+ * single cached trace set via the sweep engine's trace pre-generation.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <map>
+#include <string>
 
-#include "harness/experiment.hh"
-
-namespace
-{
-
-using namespace silo;
-
-constexpr Cycles latencies[] = {8, 16, 32, 64, 96, 128};
-
-std::map<std::pair<std::string, Cycles>, double> throughput;
-
-void
-runPoint(benchmark::State &state, workload::WorkloadKind kind,
-         Cycles latency, harness::TraceCache &cache)
-{
-    workload::TraceGenConfig tg;
-    tg.kind = kind;
-    tg.numThreads = unsigned(harness::envOr("SILO_CORES", 8));
-    tg.transactionsPerThread = harness::envOr("SILO_TX", 400);
-
-    for (auto _ : state) {
-        const auto &traces = cache.get(tg);
-        SimConfig cfg;
-        cfg.numCores = tg.numThreads;
-        cfg.scheme = SchemeKind::Silo;
-        cfg.logBufferLatency = latency;
-        auto report = harness::runCell(cfg, traces);
-        throughput[{workload::workloadName(kind), latency}] =
-            report.txPerMillionCycles;
-        state.counters["tx_per_Mcy"] = report.txPerMillionCycles;
-    }
-}
-
-} // namespace
+#include "harness/sweep.hh"
 
 int
-main(int argc, char **argv)
+main()
 {
-    static silo::harness::TraceCache cache;
-    for (auto kind : silo::workload::evaluationWorkloads) {
+    using namespace silo;
+
+    constexpr Cycles latencies[] = {8, 16, 32, 64, 96, 128};
+
+    harness::Sweep sweep;
+    std::vector<std::pair<std::string, Cycles>> keys;
+    for (auto kind : workload::evaluationWorkloads) {
         for (Cycles latency : latencies) {
-            benchmark::RegisterBenchmark(
-                (std::string("Fig15/") + workload::workloadName(kind) +
-                    "/lat:" + std::to_string(latency)).c_str(),
-                [kind, latency](benchmark::State &s) {
-                    runPoint(s, kind, latency, cache);
-                })
-                ->Iterations(1)
-                ->Unit(benchmark::kSecond);
+            harness::CellSpec spec;
+            spec.trace.kind = kind;
+            spec.trace.numThreads =
+                unsigned(harness::envOr("SILO_CORES", 8));
+            spec.trace.transactionsPerThread =
+                harness::envOr("SILO_TX", 400);
+            spec.sim.numCores = spec.trace.numThreads;
+            spec.sim.scheme = SchemeKind::Silo;
+            spec.sim.logBufferLatency = latency;
+            spec.label = std::string("Fig15/") +
+                         workload::workloadName(kind) + "/lat:" +
+                         std::to_string(latency);
+            keys.emplace_back(workload::workloadName(kind), latency);
+            sweep.add(std::move(spec));
         }
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    sweep.run();
+    sweep.writeJson(harness::jsonOutputPath("fig15_buffer_latency"),
+                    "fig15_buffer_latency");
+
+    std::map<std::pair<std::string, Cycles>, double> throughput;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        throughput[keys[i]] =
+            sweep.results()[i].report.txPerMillionCycles;
 
     TablePrinter table(
         "Fig. 15 — throughput vs log buffer latency, normalized to "
@@ -74,7 +58,7 @@ main(int argc, char **argv)
     table.header(std::move(header));
 
     double worst = 1.0;
-    for (auto kind : silo::workload::evaluationWorkloads) {
+    for (auto kind : workload::evaluationWorkloads) {
         std::vector<std::string> cells = {
             workload::workloadName(kind)};
         double base = throughput[{workload::workloadName(kind), 8}];

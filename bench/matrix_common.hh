@@ -2,17 +2,18 @@
  * @file
  * Shared sweep driver for Figs. 11 and 12: run every evaluated design
  * (Base, FWB, MorLog, LAD, Silo) over the seven benchmarks on 1/2/4/8
- * cores and collect the SimReports.
+ * cores through the parallel sweep engine and collect the SimReports.
  */
 
 #ifndef SILO_BENCH_MATRIX_COMMON_HH
 #define SILO_BENCH_MATRIX_COMMON_HH
 
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
-#include "harness/experiment.hh"
+#include "harness/sweep.hh"
 
 namespace silo::bench
 {
@@ -27,12 +28,11 @@ using MatrixResults =
     std::map<std::tuple<unsigned, SchemeKind, workload::WorkloadKind>,
              harness::SimReport>;
 
-/** Run the full Figs. 11/12 matrix. */
-inline MatrixResults
-runMatrix(const std::vector<unsigned> &core_counts)
+/** Append the full Figs. 11/12 matrix to @p sweep as cells. */
+inline void
+addMatrixCells(harness::Sweep &sweep,
+               const std::vector<unsigned> &core_counts)
 {
-    harness::TraceCache cache;
-    MatrixResults results;
     std::uint64_t tx = harness::envOr("SILO_TX", 500);
     std::uint64_t seed = harness::envOr("SILO_SEED", 42);
 
@@ -43,16 +43,40 @@ runMatrix(const std::vector<unsigned> &core_counts)
             tg.numThreads = cores;
             tg.transactionsPerThread = tx;
             tg.seed = seed;
-            const auto &traces = cache.get(tg);
             for (auto scheme : evaluatedSchemes) {
-                SimConfig cfg;
-                cfg.numCores = cores;
-                cfg.scheme = scheme;
-                results[{cores, scheme, wl}] =
-                    harness::runCell(cfg, traces);
+                harness::CellSpec spec;
+                spec.sim.numCores = cores;
+                spec.sim.scheme = scheme;
+                spec.trace = tg;
+                spec.label =
+                    std::string(workload::workloadName(wl)) + "/" +
+                    schemeName(scheme) + "/" + std::to_string(cores) +
+                    "c";
+                sweep.add(std::move(spec));
             }
         }
     }
+}
+
+/**
+ * Run the full Figs. 11/12 matrix on @p sweep. Results come back in
+ * spec order regardless of which worker finished first, so the keyed
+ * map is rebuilt by mirroring addMatrixCells()'s loop order.
+ */
+inline MatrixResults
+runMatrix(harness::Sweep &sweep,
+          const std::vector<unsigned> &core_counts)
+{
+    addMatrixCells(sweep, core_counts);
+    sweep.run();
+
+    MatrixResults results;
+    std::size_t i = 0;
+    for (unsigned cores : core_counts)
+        for (auto wl : workload::evaluationWorkloads)
+            for (auto scheme : evaluatedSchemes)
+                results[{cores, scheme, wl}] =
+                    sweep.results()[i++].report;
     return results;
 }
 

@@ -4,15 +4,14 @@
  * figure). For each scheme, crash a run mid-flight and measure the
  * work recovery performs: live log records scanned, words rewritten
  * into the data region, and the modeled PM time (reads of the live
- * log region plus media word writes).
+ * log region plus media word writes). One sweep-engine cell per
+ * scheme; all six schemes share one cached Hash trace set.
  */
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
-#include <map>
+#include <vector>
 
-#include "harness/experiment.hh"
+#include "harness/sweep.hh"
 
 namespace
 {
@@ -27,77 +26,74 @@ struct RecoveryRow
     std::uint64_t crashFlushBytes = 0;
 };
 
-std::map<std::string, RecoveryRow> rows;
-
-void
-runScheme(benchmark::State &state, SchemeKind kind)
-{
-    workload::TraceGenConfig tg;
-    tg.kind = workload::WorkloadKind::Hash;
-    tg.numThreads = unsigned(harness::envOr("SILO_CORES", 8));
-    tg.transactionsPerThread = harness::envOr("SILO_TX", 300);
-
-    for (auto _ : state) {
-        auto traces = workload::generateTraces(tg);
-        SimConfig cfg;
-        cfg.numCores = tg.numThreads;
-        cfg.scheme = kind;
-        harness::System sys(cfg, traces);
-        sys.runEvents(harness::envOr("SILO_CRASH_EVENTS", 200000));
-        sys.crash();
-
-        RecoveryRow row;
-        row.crashFlushBytes =
-            sys.scheme().schemeStats().crashFlushBytes.value();
-        row.liveRecords = sys.logRegion().liveRecordCount();
-
-        auto before = sys.pm().media().words();
-        sys.recover();
-        for (const auto &[addr, value] : sys.pm().media().words()) {
-            auto it = before.find(addr);
-            if (it == before.end() || it->second != value)
-                ++row.wordsRewritten;
-        }
-        // Model: one 64B-line read per live record + one media word
-        // write per rewritten word.
-        SimConfig defaults;
-        double ns_per_read = double(defaults.pmReadCycles) / 2.0;
-        double ns_per_word =
-            double(defaults.pmWritePerWordCycles) / 2.0;
-        row.modelNs = double(row.liveRecords) * ns_per_read +
-                      double(row.wordsRewritten) * ns_per_word;
-        rows[schemeName(kind)] = row;
-        state.counters["live_records"] = double(row.liveRecords);
-    }
-}
-
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
     constexpr SchemeKind kinds[] = {
         SchemeKind::Base, SchemeKind::Fwb, SchemeKind::MorLog,
         SchemeKind::Lad, SchemeKind::Silo, SchemeKind::SwEadr,
     };
-    for (auto kind : kinds) {
-        benchmark::RegisterBenchmark(
-            (std::string("Recovery/") + schemeName(kind)).c_str(),
-            [kind](benchmark::State &s) { runScheme(s, kind); })
-            ->Iterations(1)
-            ->Unit(benchmark::kSecond);
+    constexpr std::size_t n = sizeof(kinds) / sizeof(kinds[0]);
+    std::vector<RecoveryRow> rows(n);
+    std::uint64_t crash_events =
+        harness::envOr("SILO_CRASH_EVENTS", 200000);
+
+    harness::Sweep sweep;
+    for (std::size_t i = 0; i < n; ++i) {
+        harness::CellSpec spec;
+        spec.trace.kind = workload::WorkloadKind::Hash;
+        spec.trace.numThreads =
+            unsigned(harness::envOr("SILO_CORES", 8));
+        spec.trace.transactionsPerThread =
+            harness::envOr("SILO_TX", 300);
+        spec.sim.numCores = spec.trace.numThreads;
+        spec.sim.scheme = kinds[i];
+        spec.label = std::string("Recovery/") + schemeName(kinds[i]);
+        spec.runner = [&rows, i, crash_events](
+                          const SimConfig &cfg,
+                          const workload::WorkloadTraces &tr) {
+            harness::System sys(cfg, tr);
+            sys.runEvents(crash_events);
+            sys.crash();
+
+            RecoveryRow row;
+            row.crashFlushBytes =
+                sys.scheme().schemeStats().crashFlushBytes.value();
+            row.liveRecords = sys.logRegion().liveRecordCount();
+
+            auto before = sys.pm().media().words();
+            sys.recover();
+            for (const auto &[addr, value] :
+                 sys.pm().media().words()) {
+                auto it = before.find(addr);
+                if (it == before.end() || it->second != value)
+                    ++row.wordsRewritten;
+            }
+            // Model: one 64B-line read per live record + one media
+            // word write per rewritten word.
+            SimConfig defaults;
+            double ns_per_read = double(defaults.pmReadCycles) / 2.0;
+            double ns_per_word =
+                double(defaults.pmWritePerWordCycles) / 2.0;
+            row.modelNs = double(row.liveRecords) * ns_per_read +
+                          double(row.wordsRewritten) * ns_per_word;
+            rows[i] = row;
+            return sys.report();
+        };
+        sweep.add(std::move(spec));
     }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    sweep.run();
 
     TablePrinter table(
         "Recovery cost after a mid-run crash, Hash @ 8 cores "
         "(extension)");
     table.header({"Design", "battery flush B", "live log records",
                   "words rewritten", "modeled PM time (us)"});
-    for (auto kind : kinds) {
-        const auto &r = rows[schemeName(kind)];
-        table.row({schemeName(kind),
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &r = rows[i];
+        table.row({schemeName(kinds[i]),
                    std::to_string(r.crashFlushBytes),
                    std::to_string(r.liveRecords),
                    std::to_string(r.wordsRewritten),

@@ -1,10 +1,9 @@
 /**
  * @file
  * Table I: the hardware overhead of Silo — per-core log buffer,
- * comparators, battery, and head/tail registers.
+ * comparators, battery, and head/tail registers. Pure model
+ * arithmetic; no simulation sweep.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <sstream>
@@ -13,22 +12,9 @@
 #include "sim/table.hh"
 
 int
-main(int argc, char **argv)
+main()
 {
     using namespace silo;
-
-    benchmark::RegisterBenchmark(
-        "Table1/hw_overhead", [](benchmark::State &state) {
-            SimConfig cfg;
-            for (auto _ : state) {
-                auto hw = energy::siloHardwareOverhead(cfg);
-                benchmark::DoNotOptimize(hw);
-                state.counters["buffer_B_per_core"] =
-                    hw.logBufferBytesPerCore;
-            }
-        })->Iterations(1);
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
 
     SimConfig cfg;
     auto hw = energy::siloHardwareOverhead(cfg);

@@ -2,10 +2,8 @@
  * @file
  * Table IV: battery requirements of eADR, BBB, and Silo (8 cores) —
  * flush size, flush energy, and supercapacitor / lithium thin-film
- * volume and area.
+ * volume and area. Pure model arithmetic; no simulation sweep.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <iostream>
 
@@ -13,21 +11,9 @@
 #include "sim/table.hh"
 
 int
-main(int argc, char **argv)
+main()
 {
     using namespace silo;
-
-    benchmark::RegisterBenchmark(
-        "Table4/battery", [](benchmark::State &state) {
-            SimConfig cfg;
-            for (auto _ : state) {
-                auto req = energy::siloBattery(cfg);
-                benchmark::DoNotOptimize(req);
-                state.counters["silo_flush_uJ"] = req.flushEnergyUj;
-            }
-        })->Iterations(1);
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
 
     SimConfig cfg;   // Table II defaults, 8 cores
     auto eadr = energy::eadrBattery(cfg);

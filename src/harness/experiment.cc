@@ -1,7 +1,9 @@
 #include "harness/experiment.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace silo::harness
@@ -13,21 +15,52 @@ envOr(const char *name, std::uint64_t fallback)
     const char *value = std::getenv(name);
     if (!value || !*value)
         return fallback;
-    return std::strtoull(value, nullptr, 10);
+    const char *end = value + std::strlen(value);
+    std::uint64_t parsed = 0;
+    auto [ptr, ec] = std::from_chars(value, end, parsed, 10);
+    if (ec == std::errc::result_out_of_range)
+        fatal(std::string(name) + "=\"" + value +
+              "\" overflows a 64-bit unsigned integer");
+    if (ec != std::errc() || ptr != end)
+        fatal(std::string(name) + "=\"" + value +
+              "\" is not an unsigned decimal integer");
+    return parsed;
 }
 
-const workload::WorkloadTraces &
-TraceCache::get(const workload::TraceGenConfig &cfg)
+std::string
+TraceCache::key(const workload::TraceGenConfig &cfg)
 {
     std::ostringstream key;
     key << workload::workloadName(cfg.kind) << '/' << cfg.numThreads
         << '/' << cfg.transactionsPerThread << '/'
         << cfg.opsPerTransaction << '/' << cfg.seed << '/'
         << cfg.options.tpccAllTxTypes;
-    auto it = _cache.find(key.str());
+    return key.str();
+}
+
+const workload::WorkloadTraces &
+TraceCache::get(const workload::TraceGenConfig &cfg)
+{
+    auto it = _cache.find(key(cfg));
     if (it == _cache.end())
-        it = _cache.emplace(key.str(),
-                            workload::generateTraces(cfg)).first;
+        return insert(cfg, workload::generateTraces(cfg));
+    return it->second;
+}
+
+bool
+TraceCache::contains(const workload::TraceGenConfig &cfg) const
+{
+    return _cache.find(key(cfg)) != _cache.end();
+}
+
+const workload::WorkloadTraces &
+TraceCache::insert(const workload::TraceGenConfig &cfg,
+                   workload::WorkloadTraces traces)
+{
+    auto [it, inserted] = _cache.emplace(key(cfg), std::move(traces));
+    if (!inserted)
+        panic("TraceCache: duplicate insert for " + key(cfg));
+    ++_generations;
     return it->second;
 }
 

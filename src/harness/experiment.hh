@@ -20,18 +20,47 @@
 namespace silo::harness
 {
 
-/** Read an unsigned configuration knob from the environment. */
+/**
+ * Read an unsigned configuration knob from the environment.
+ *
+ * Unset or empty returns @p fallback; anything else must be a full
+ * decimal unsigned integer — garbage ("abc"), signs ("-5"), trailing
+ * junk ("10x") and overflow are configuration errors reported via
+ * fatal() with the variable name, never silently misparsed.
+ */
 std::uint64_t envOr(const char *name, std::uint64_t fallback);
 
 /** Trace cache keyed on generation parameters (shared by schemes). */
 class TraceCache
 {
   public:
+    /** The cache key for @p cfg (every generation knob, in order). */
+    static std::string key(const workload::TraceGenConfig &cfg);
+
+    /** Fetch the traces for @p cfg, generating them on a miss. */
     const workload::WorkloadTraces &
     get(const workload::TraceGenConfig &cfg);
 
+    bool contains(const workload::TraceGenConfig &cfg) const;
+
+    /**
+     * Insert externally generated traces (the sweep engine generates
+     * unique configs in parallel, then populates the cache serially).
+     * Counts toward generationCount(); duplicate inserts are a bug.
+     */
+    const workload::WorkloadTraces &
+    insert(const workload::TraceGenConfig &cfg,
+           workload::WorkloadTraces traces);
+
+    /**
+     * How many trace sets were generated into this cache — the
+     * determinism tests assert one generation per unique config.
+     */
+    std::uint64_t generationCount() const { return _generations; }
+
   private:
     std::map<std::string, workload::WorkloadTraces> _cache;
+    std::uint64_t _generations = 0;
 };
 
 /** Run one simulation to completion, including the final drain. */

@@ -1,0 +1,296 @@
+#include "harness/sweep.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace silo::harness
+{
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Round-trippable, locale-independent double formatting. */
+std::string
+jsonNum(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+unsigned
+Sweep::defaultJobs()
+{
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::uint64_t jobs = envOr("SILO_JOBS", hw);
+    if (jobs == 0)
+        fatal("SILO_JOBS must be positive");
+    return unsigned(std::min<std::uint64_t>(jobs, 1024));
+}
+
+unsigned
+Sweep::jobs() const
+{
+    return _opts.jobs ? _opts.jobs : defaultJobs();
+}
+
+void
+Sweep::parallelFor(std::size_t n, unsigned jobs,
+                   const std::function<void(std::size_t)> &body)
+{
+    jobs = unsigned(std::min<std::size_t>(jobs, n));
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // Work stealing over per-worker deques: a worker pops its own
+    // queue from the front and steals from a victim's back, so cheap
+    // neighbouring cells stay local while long-running stragglers get
+    // drained by idle workers.
+    struct WorkerQueue
+    {
+        std::mutex m;
+        std::deque<std::size_t> q;
+    };
+    std::vector<WorkerQueue> queues(jobs);
+    for (std::size_t i = 0; i < n; ++i)
+        queues[i % jobs].q.push_back(i);
+
+    std::mutex error_m;
+    std::exception_ptr first_error;
+
+    auto worker = [&](unsigned self) {
+        for (;;) {
+            std::size_t idx = 0;
+            bool found = false;
+            {
+                std::lock_guard<std::mutex> lk(queues[self].m);
+                if (!queues[self].q.empty()) {
+                    idx = queues[self].q.front();
+                    queues[self].q.pop_front();
+                    found = true;
+                }
+            }
+            for (unsigned v = 1; v < jobs && !found; ++v) {
+                WorkerQueue &victim = queues[(self + v) % jobs];
+                std::lock_guard<std::mutex> lk(victim.m);
+                if (!victim.q.empty()) {
+                    idx = victim.q.back();
+                    victim.q.pop_back();
+                    found = true;
+                }
+            }
+            if (!found)
+                return;
+            try {
+                body(idx);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(error_m);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w)
+        pool.emplace_back(worker, w);
+    for (auto &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+const std::vector<CellResult> &
+Sweep::run()
+{
+    unsigned jobs = this->jobs();
+
+    // Phase 1: generate every unique trace before any cell runs, so
+    // the cache is read-only during fan-out. Generation is itself
+    // parallel over the unique configs (each trace depends only on
+    // its own config and seed), then inserted serially.
+    std::vector<const workload::TraceGenConfig *> missing;
+    std::set<std::string> queued;
+    for (const auto &spec : _specs) {
+        std::string key = TraceCache::key(spec.trace);
+        if (!_cache.contains(spec.trace) && queued.insert(key).second)
+            missing.push_back(&spec.trace);
+    }
+    if (!missing.empty()) {
+        if (_opts.progress)
+            std::fprintf(stderr, "sweep: generating %zu trace set(s) "
+                         "on %u job(s)\n", missing.size(), jobs);
+        std::vector<workload::WorkloadTraces> generated(missing.size());
+        parallelFor(missing.size(), jobs, [&](std::size_t j) {
+            generated[j] = workload::generateTraces(*missing[j]);
+        });
+        for (std::size_t j = 0; j < missing.size(); ++j)
+            _cache.insert(*missing[j], std::move(generated[j]));
+    }
+
+    // Phase 2: fan the cells out. Each worker writes only its own
+    // pre-sized result slot, so completion order never shows.
+    _results.assign(_specs.size(), CellResult{});
+    _done = 0;
+    _startSeconds = nowSeconds();
+    parallelFor(_specs.size(), jobs,
+                [this](std::size_t i) { runOne(i); });
+    if (_opts.progress && !_specs.empty() && isatty(STDERR_FILENO))
+        std::fprintf(stderr, "\n");
+    return _results;
+}
+
+void
+Sweep::runOne(std::size_t index)
+{
+    if (_hooks.onCellStart)
+        _hooks.onCellStart(index);
+    const CellSpec &spec = _specs[index];
+    const workload::WorkloadTraces &traces = _cache.get(spec.trace);
+    double t0 = nowSeconds();
+    CellResult out;
+    out.traces = &traces;
+    out.report = spec.runner ? spec.runner(spec.sim, traces)
+                             : runCell(spec.sim, traces);
+    out.wallSeconds = nowSeconds() - t0;
+    _results[index] = std::move(out);
+    noteCellDone(index, _results[index].wallSeconds);
+}
+
+void
+Sweep::noteCellDone(std::size_t index, double wall_seconds)
+{
+    if (!_opts.progress)
+        return;
+    static std::mutex progress_m;
+    std::lock_guard<std::mutex> lk(progress_m);
+    ++_done;
+    double elapsed = nowSeconds() - _startSeconds;
+    double eta = _done ? elapsed / double(_done) *
+                             double(_specs.size() - _done)
+                       : 0;
+    const char *terminator = isatty(STDERR_FILENO) ? "\r" : "\n";
+    std::fprintf(stderr,
+                 "sweep: [%3zu/%zu] %-40s %6.2fs  eta %5.0fs%s",
+                 _done, _specs.size(),
+                 _specs[index].label.empty()
+                     ? "(unnamed cell)"
+                     : _specs[index].label.c_str(),
+                 wall_seconds, eta, terminator);
+    std::fflush(stderr);
+}
+
+void
+Sweep::writeJson(const std::string &path,
+                 const std::string &benchmark) const
+{
+    std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path());
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        fatal("cannot open JSON results file " + path);
+
+    os << "{\n";
+    os << "  \"schema\": \"silo-sweep-v1\",\n";
+    os << "  \"benchmark\": \"" << jsonEscape(benchmark) << "\",\n";
+    os << "  \"cells\": [";
+    for (std::size_t i = 0; i < _results.size(); ++i) {
+        const CellSpec &spec = _specs[i];
+        const SimReport &r = _results[i].report;
+        os << (i ? ",\n" : "\n");
+        os << "    {\n";
+        os << "      \"label\": \"" << jsonEscape(spec.label)
+           << "\",\n";
+        os << "      \"scheme\": \"" << schemeName(spec.sim.scheme)
+           << "\",\n";
+        os << "      \"workload\": \""
+           << workload::workloadName(spec.trace.kind) << "\",\n";
+        os << "      \"cores\": " << spec.sim.numCores << ",\n";
+        os << "      \"trace\": {\"threads\": " << spec.trace.numThreads
+           << ", \"tx_per_thread\": "
+           << spec.trace.transactionsPerThread
+           << ", \"ops_per_tx\": " << spec.trace.opsPerTransaction
+           << ", \"seed\": " << spec.trace.seed << "},\n";
+        os << "      \"report\": {\n";
+        os << "        \"committed_transactions\": "
+           << r.committedTransactions << ",\n";
+        os << "        \"ticks\": " << r.ticks << ",\n";
+        os << "        \"tx_per_million_cycles\": "
+           << jsonNum(r.txPerMillionCycles) << ",\n";
+        os << "        \"media_word_writes\": " << r.mediaWordWrites
+           << ",\n";
+        os << "        \"media_line_writes\": " << r.mediaLineWrites
+           << ",\n";
+        os << "        \"data_region_word_writes\": "
+           << r.dataRegionWordWrites << ",\n";
+        os << "        \"log_region_word_writes\": "
+           << r.logRegionWordWrites << ",\n";
+        os << "        \"log_records_written\": "
+           << r.logRecordsWritten << ",\n";
+        os << "        \"commit_stall_cycles\": "
+           << r.commitStallCycles << ",\n";
+        os << "        \"store_stall_cycles\": " << r.storeStallCycles
+           << ",\n";
+        os << "        \"wpq_full_stalls\": " << r.wpqFullStalls
+           << ",\n";
+        os << "        \"wpq_accepted_writes\": "
+           << r.wpqAcceptedWrites << ",\n";
+        os << "        \"wpq_accepted_bytes\": " << r.wpqAcceptedBytes
+           << "\n";
+        os << "      }\n";
+        os << "    }";
+    }
+    os << "\n  ]\n}\n";
+    if (!os)
+        fatal("failed writing JSON results file " + path);
+}
+
+std::string
+jsonOutputPath(const std::string &benchmark)
+{
+    if (const char *env = std::getenv("SILO_JSON"); env && *env)
+        return env;
+    return "results/" + benchmark + ".json";
+}
+
+} // namespace silo::harness

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The sweep engine's determinism contract: a parallel run must be
+ * indistinguishable from a serial run — every SimReport field equal,
+ * results in spec order regardless of completion order (proved with
+ * an adversarial per-cell sleep), the JSON output byte-identical —
+ * and the trace cache must generate each unique TraceGenConfig
+ * exactly once, sharing one trace object between cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "harness/sweep.hh"
+
+namespace silo::harness
+{
+namespace
+{
+
+/** A small 2-scheme x 3-workload matrix (cheap but non-trivial). */
+std::vector<CellSpec>
+smallMatrix()
+{
+    constexpr SchemeKind schemes[] = {SchemeKind::Silo,
+                                      SchemeKind::Base};
+    constexpr workload::WorkloadKind workloads[] = {
+        workload::WorkloadKind::Hash, workload::WorkloadKind::Array,
+        workload::WorkloadKind::Queue};
+    std::vector<CellSpec> specs;
+    for (auto scheme : schemes) {
+        for (auto wl : workloads) {
+            CellSpec spec;
+            spec.trace.kind = wl;
+            spec.trace.numThreads = 2;
+            spec.trace.transactionsPerThread = 20;
+            spec.sim.numCores = 2;
+            spec.sim.scheme = scheme;
+            spec.label = std::string(schemeName(scheme)) + "/" +
+                         workload::workloadName(wl);
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+void
+expectReportsEqual(const SimReport &a, const SimReport &b,
+                   const std::string &label)
+{
+    EXPECT_EQ(a.committedTransactions, b.committedTransactions)
+        << label;
+    EXPECT_EQ(a.ticks, b.ticks) << label;
+    EXPECT_EQ(a.txPerMillionCycles, b.txPerMillionCycles) << label;
+    EXPECT_EQ(a.mediaWordWrites, b.mediaWordWrites) << label;
+    EXPECT_EQ(a.mediaLineWrites, b.mediaLineWrites) << label;
+    EXPECT_EQ(a.dataRegionWordWrites, b.dataRegionWordWrites) << label;
+    EXPECT_EQ(a.logRegionWordWrites, b.logRegionWordWrites) << label;
+    EXPECT_EQ(a.logRecordsWritten, b.logRecordsWritten) << label;
+    EXPECT_EQ(a.commitStallCycles, b.commitStallCycles) << label;
+    EXPECT_EQ(a.storeStallCycles, b.storeStallCycles) << label;
+    EXPECT_EQ(a.wpqFullStalls, b.wpqFullStalls) << label;
+    EXPECT_EQ(a.wpqAcceptedWrites, b.wpqAcceptedWrites) << label;
+    EXPECT_EQ(a.wpqAcceptedBytes, b.wpqAcceptedBytes) << label;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(SweepDeterminism, SerialAndParallelReportsIdentical)
+{
+    Sweep serial({.jobs = 1, .progress = false});
+    Sweep parallel({.jobs = 8, .progress = false});
+    for (auto &spec : smallMatrix())
+        serial.add(spec);
+    for (auto &spec : smallMatrix())
+        parallel.add(spec);
+
+    serial.run();
+    parallel.run();
+    ASSERT_EQ(serial.results().size(), parallel.results().size());
+    for (std::size_t i = 0; i < serial.results().size(); ++i) {
+        SCOPED_TRACE(serial.specs()[i].label);
+        // Sanity: the cells did real work.
+        EXPECT_EQ(serial.results()[i].report.committedTransactions,
+                  2u * 20);
+        expectReportsEqual(serial.results()[i].report,
+                           parallel.results()[i].report,
+                           serial.specs()[i].label);
+    }
+
+    std::string serial_json =
+        ::testing::TempDir() + "sweep_serial.json";
+    std::string parallel_json =
+        ::testing::TempDir() + "sweep_parallel.json";
+    serial.writeJson(serial_json, "sweep_test");
+    parallel.writeJson(parallel_json, "sweep_test");
+    std::string a = slurp(serial_json);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, slurp(parallel_json))
+        << "serial and parallel JSON must be byte-identical";
+}
+
+TEST(SweepDeterminism, ResultOrderMatchesSpecOrderUnderAdversarialSleep)
+{
+    // Give every cell a distinguishable report (different tx count)
+    // and delay earlier cells the most, so completion order is the
+    // reverse of spec order.
+    constexpr std::size_t n = 6;
+    Sweep sweep({.jobs = unsigned(n), .progress = false});
+    for (std::size_t i = 0; i < n; ++i) {
+        CellSpec spec;
+        spec.trace.kind = workload::WorkloadKind::Array;
+        spec.trace.numThreads = 1;
+        spec.trace.transactionsPerThread = 5 + i;
+        spec.sim.numCores = 1;
+        spec.sim.scheme = SchemeKind::Silo;
+        spec.label = "cell" + std::to_string(i);
+        sweep.add(std::move(spec));
+    }
+    sweep.setTestHooks({.onCellStart = [](std::size_t index) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20 * (5 - index)));
+    }});
+
+    sweep.run();
+    ASSERT_EQ(sweep.results().size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(sweep.results()[i].report.committedTransactions,
+                  5 + i)
+            << "result slot " << i
+            << " does not hold the cell added " << i << "th";
+    }
+}
+
+TEST(SweepTraceCache, SharedConfigIsGeneratedOnceAndPointerShared)
+{
+    Sweep sweep({.jobs = 4, .progress = false});
+    workload::TraceGenConfig shared;
+    shared.kind = workload::WorkloadKind::Hash;
+    shared.numThreads = 2;
+    shared.transactionsPerThread = 15;
+
+    CellSpec a;
+    a.trace = shared;
+    a.sim.numCores = 2;
+    a.sim.scheme = SchemeKind::Silo;
+    a.label = "silo";
+    CellSpec b;
+    b.trace = shared;
+    b.sim.numCores = 2;
+    b.sim.scheme = SchemeKind::Base;
+    b.label = "base";
+    CellSpec c;
+    c.trace = shared;
+    c.trace.seed = shared.seed + 1;   // unique config
+    c.sim.numCores = 2;
+    c.sim.scheme = SchemeKind::Silo;
+    c.label = "silo-reseeded";
+    sweep.add(std::move(a));
+    sweep.add(std::move(b));
+    sweep.add(std::move(c));
+
+    sweep.run();
+    ASSERT_EQ(sweep.results().size(), 3u);
+    EXPECT_NE(sweep.results()[0].traces, nullptr);
+    EXPECT_EQ(sweep.results()[0].traces, sweep.results()[1].traces)
+        << "cells sharing a TraceGenConfig must observe the same "
+           "trace object";
+    EXPECT_NE(sweep.results()[0].traces, sweep.results()[2].traces);
+    EXPECT_EQ(sweep.traceCache().generationCount(), 2u)
+        << "the engine must generate each unique config exactly once";
+}
+
+TEST(SweepTraceCache, RerunGeneratesNothingNew)
+{
+    Sweep sweep({.jobs = 2, .progress = false});
+    for (auto &spec : smallMatrix())
+        sweep.add(spec);
+    sweep.run();
+    std::uint64_t after_first = sweep.traceCache().generationCount();
+    EXPECT_EQ(after_first, 3u);   // three workloads, schemes share
+    sweep.run();
+    EXPECT_EQ(sweep.traceCache().generationCount(), after_first);
+}
+
+} // namespace
+} // namespace silo::harness

@@ -1,12 +1,28 @@
 # ctest script: run a tiny Fig. 12 matrix through the parallel sweep
 # engine and check that the JSON results file is written and parses.
 # Invoked by the bench_smoke test with -DBENCH_BINARY and -DJSON_PATH.
+#
+# Trace mode (-DTRACE_PATH, the trace_smoke test): a smaller matrix
+# with SILO_TRACE targeting one cell; additionally validates the
+# Chrome trace-event JSON that cell writes — required keys, monotone
+# timestamps per track, span and counter coverage.
 
 file(REMOVE "${JSON_PATH}")
 
-set(ENV{SILO_TX} 20)
-set(ENV{SILO_MAX_CORES} 2)
-set(ENV{SILO_JOBS} 4)
+if(TRACE_PATH)
+    set(ENV{SILO_TX} 10)
+    set(ENV{SILO_MAX_CORES} 1)
+    set(ENV{SILO_JOBS} 2)
+    set(ENV{SILO_TRACE} "${TRACE_PATH}")
+    # Cell 4 of the 1-core matrix is Array/Silo/1c (5 schemes x 7
+    # workloads, scheme-major): cheap, and exercises the speculative
+    # scheme's spans.
+    set(ENV{SILO_TRACE_CELL} 4)
+else()
+    set(ENV{SILO_TX} 20)
+    set(ENV{SILO_MAX_CORES} 2)
+    set(ENV{SILO_JOBS} 4)
+endif()
 set(ENV{SILO_JSON} "${JSON_PATH}")
 
 execute_process(COMMAND "${BENCH_BINARY}"
@@ -32,10 +48,16 @@ if(NOT schema STREQUAL "silo-sweep-v1")
         "bench_smoke: unexpected schema \"${schema}\"")
 endif()
 string(JSON n_cells LENGTH "${json}" cells)
-# SILO_MAX_CORES=2 -> 2 core counts x 7 workloads x 5 schemes.
-if(NOT n_cells EQUAL 70)
-    message(FATAL_ERROR
-        "bench_smoke: expected 70 cells, JSON has ${n_cells}")
+if(TRACE_PATH)
+    # SILO_MAX_CORES=1 -> 1 core count x 7 workloads x 5 schemes.
+    set(expected_cells 35)
+else()
+    # SILO_MAX_CORES=2 -> 2 core counts x 7 workloads x 5 schemes.
+    set(expected_cells 70)
+endif()
+if(NOT n_cells EQUAL expected_cells)
+    message(FATAL_ERROR "bench_smoke: expected ${expected_cells} "
+        "cells, JSON has ${n_cells}")
 endif()
 string(JSON commits GET "${json}" cells 0 report
     committed_transactions)
@@ -43,5 +65,80 @@ if(commits LESS 1)
     message(FATAL_ERROR
         "bench_smoke: first cell committed ${commits} transactions")
 endif()
-message(STATUS
-    "bench_smoke: ${n_cells} cells OK, JSON parses (${JSON_PATH})")
+
+# Every cell embeds the hierarchical stats block.
+string(JSON stats_schema GET "${json}" cells 0 report stats schema)
+if(NOT stats_schema STREQUAL "silo-stats-v1")
+    message(FATAL_ERROR
+        "bench_smoke: per-cell stats schema is \"${stats_schema}\"")
+endif()
+
+if(NOT TRACE_PATH)
+    message(STATUS
+        "bench_smoke: ${n_cells} cells OK, JSON parses (${JSON_PATH})")
+    return()
+endif()
+
+# ---- Trace mode: validate the Chrome trace-event file of the traced
+# cell (Array/Silo/1c; the sweep engine names it via tracePathFor).
+get_filename_component(trace_dir "${TRACE_PATH}" DIRECTORY)
+get_filename_component(trace_stem "${TRACE_PATH}" NAME_WE)
+set(trace_file "${trace_dir}/${trace_stem}-Silo-Array-1c.json")
+if(NOT EXISTS "${trace_file}")
+    message(FATAL_ERROR
+        "trace_smoke: trace file ${trace_file} was not written")
+endif()
+file(READ "${trace_file}" trace)
+string(JSON n_events LENGTH "${trace}" traceEvents)
+if(n_events LESS 10)
+    message(FATAL_ERROR
+        "trace_smoke: only ${n_events} trace events recorded")
+endif()
+
+# Walk every event: required keys present, timestamps monotone per
+# (pid, tid) track, and tally coverage along the way.
+set(span_count 0)
+set(counter_names "")
+math(EXPR last "${n_events} - 1")
+foreach(i RANGE ${last})
+    string(JSON ph GET "${trace}" traceEvents ${i} ph)
+    string(JSON ts GET "${trace}" traceEvents ${i} ts)
+    string(JSON pid GET "${trace}" traceEvents ${i} pid)
+    string(JSON tid GET "${trace}" traceEvents ${i} tid)
+    string(JSON name GET "${trace}" traceEvents ${i} name)
+    if(ph STREQUAL "M")
+        continue()
+    endif()
+    if(DEFINED last_ts_${pid}_${tid} AND
+       ts LESS last_ts_${pid}_${tid})
+        message(FATAL_ERROR "trace_smoke: event ${i} (${name}) ts "
+            "${ts} < ${last_ts_${pid}_${tid}} on track "
+            "${pid}:${tid} — not monotone")
+    endif()
+    set(last_ts_${pid}_${tid} ${ts})
+    if(ph STREQUAL "X")
+        math(EXPR span_count "${span_count} + 1")
+        list(APPEND span_names "${name}")
+    elseif(ph STREQUAL "C")
+        list(APPEND counter_names "${name}")
+    endif()
+endforeach()
+
+# Spans from all the instrumented layers of the traced cell: core tx
+# phases, the scheme's log lifecycle, the WPQ drain, PM programming.
+foreach(required "tx" "speculate" "persist" "drain-data" "program")
+    list(FIND span_names "${required}" found)
+    if(found EQUAL -1)
+        message(FATAL_ERROR
+            "trace_smoke: no \"${required}\" span in ${trace_file}")
+    endif()
+endforeach()
+list(REMOVE_DUPLICATES counter_names)
+list(LENGTH counter_names n_counters)
+if(n_counters LESS 2)
+    message(FATAL_ERROR "trace_smoke: expected >= 2 counter tracks, "
+        "got ${n_counters} (${counter_names})")
+endif()
+message(STATUS "trace_smoke: ${n_cells} cells OK, ${n_events} trace "
+    "events, ${span_count} spans, ${n_counters} counters "
+    "(${trace_file})")

@@ -85,6 +85,16 @@ class CheckedScheme : public log::LoggingScheme
         return _inner->schemeStats();
     }
 
+    unsigned logBufferFill() const override
+    {
+        return _inner->logBufferFill();
+    }
+
+    const stats::StatGroup *extraStatGroup() const override
+    {
+        return _inner->extraStatGroup();
+    }
+
     /** The wrapped scheme (tests that downcast to a concrete type). */
     log::LoggingScheme &inner() { return *_inner; }
 

@@ -14,8 +14,14 @@ ReplayCore::ReplayCore(unsigned id, EventQueue &eq, const SimConfig &cfg,
                        std::function<void()> on_finished)
     : _id(id), _eq(eq), _cfg(cfg), _hierarchy(hierarchy),
       _scheme(scheme), _values(values), _trace(trace),
-      _onFinished(std::move(on_finished))
+      _onFinished(std::move(on_finished)),
+      _statGroup("core" + std::to_string(id))
 {
+    _statGroup.addScalar(_commitStalls);
+    _statGroup.addScalar(_storeStalls);
+    _statGroup.addDistribution(_commitStallDist);
+    if (auto *tr = _eq.tracer())
+        _track = tr->track("cores", "core" + std::to_string(id));
 }
 
 void
@@ -48,6 +54,7 @@ ReplayCore::step()
             panic("trace opened a nested transaction");
         _inTx = true;
         ++_txid;
+        _txStart = _eq.now();
         _scheme.txBegin(_id, _txid);
         advanceAfter(0);
         break;
@@ -89,6 +96,11 @@ ReplayCore::doStore(const TxOp &op)
         _scheme.store(_id, addr, old_val, new_val,
                       [this, hook_start] {
             _storeStalls += _eq.now() - hook_start;
+            if (auto *tr = _eq.tracer()) {
+                if (_eq.now() > hook_start)
+                    tr->completeSpan(_track, "store-wait", hook_start,
+                                     _eq.now());
+            }
             advanceAfter(0);
         });
     });
@@ -99,8 +111,16 @@ ReplayCore::doTxEnd()
 {
     _commitRequestedOpIndex = _cursor;
     Tick commit_start = _eq.now();
+    if (auto *tr = _eq.tracer())
+        tr->completeSpan(_track, "execute", _txStart, commit_start);
     _scheme.txEnd(_id, [this, commit_start] {
         _commitStalls += _eq.now() - commit_start;
+        _commitStallDist.sample(_eq.now() - commit_start);
+        if (auto *tr = _eq.tracer()) {
+            tr->completeSpan(_track, "commit-wait", commit_start,
+                             _eq.now());
+            tr->completeSpan(_track, "tx", _txStart, _eq.now());
+        }
         _inTx = false;
         ++_committedTx;
         _committedOpIndex = _commitRequestedOpIndex;

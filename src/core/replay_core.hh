@@ -19,6 +19,7 @@
 #include "mem/hierarchy.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/tracer.hh"
 #include "sim/word_store.hh"
 #include "workload/trace.hh"
 
@@ -69,6 +70,9 @@ class ReplayCore
         return _storeStalls.value();
     }
 
+    /** Per-core statistics for the structured stats export. */
+    const stats::StatGroup &statGroup() const { return _statGroup; }
+
   private:
     void step();
     void doLoad(const workload::TxOp &op);
@@ -93,8 +97,16 @@ class ReplayCore
     std::size_t _committedOpIndex = 0;
     std::size_t _commitRequestedOpIndex = 0;
 
+    /** Start tick of the open transaction (tx/execute trace spans). */
+    Tick _txStart = 0;
+
     stats::Scalar _commitStalls{"commit_stalls", "cycles at Tx_end"};
     stats::Scalar _storeStalls{"store_stalls", "cycles in store hooks"};
+    stats::Distribution _commitStallDist{
+        "commit_stall", "per-transaction Tx_end stall (cycles)", 64, 64};
+    stats::StatGroup _statGroup;
+    /** This core's trace timeline; 0 when tracing is off. */
+    trace::Tracer::TrackId _track = 0;
 };
 
 } // namespace silo::core

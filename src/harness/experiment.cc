@@ -71,7 +71,10 @@ runCell(const SimConfig &cfg, const workload::WorkloadTraces &traces)
     sys.run();
     sys.settle();
     sys.drainToMedia();
-    return sys.report();
+    sys.writeTrace();
+    SimReport report = sys.report();
+    report.statsJson = sys.statsJson();
+    return report;
 }
 
 TablePrinter

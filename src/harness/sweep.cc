@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <filesystem>
@@ -97,6 +98,7 @@ Sweep::parallelFor(std::size_t n, unsigned jobs,
     std::exception_ptr first_error;
 
     auto worker = [&](unsigned self) {
+        setLogWorkerId(int(self));
         for (;;) {
             std::size_t idx = 0;
             bool found = false;
@@ -186,11 +188,25 @@ Sweep::runOne(std::size_t index)
         _hooks.onCellStart(index);
     const CellSpec &spec = _specs[index];
     const workload::WorkloadTraces &traces = _cache.get(spec.trace);
+    // SILO_TRACE turns on timeline tracing for the cells it selects:
+    // every cell by default, or just #SILO_TRACE_CELL when that is set.
+    // Each traced cell writes its own file (see tracePathFor).
+    SimConfig sim = spec.sim;
+    if (const char *base = std::getenv("SILO_TRACE"); base && *base) {
+        std::uint64_t only =
+            envOr("SILO_TRACE_CELL", ~std::uint64_t(0));
+        if (only == ~std::uint64_t(0) || only == index) {
+            sim.tracePath = tracePathFor(base, spec);
+            sim.traceSampleNs = double(envOr(
+                "SILO_TRACE_SAMPLE_NS",
+                std::uint64_t(sim.traceSampleNs)));
+        }
+    }
     double t0 = nowSeconds();
     CellResult out;
     out.traces = &traces;
-    out.report = spec.runner ? spec.runner(spec.sim, traces)
-                             : runCell(spec.sim, traces);
+    out.report = spec.runner ? spec.runner(sim, traces)
+                             : runCell(sim, traces);
     out.wallSeconds = nowSeconds() - t0;
     _results[index] = std::move(out);
     noteCellDone(index, _results[index].wallSeconds);
@@ -229,6 +245,10 @@ Sweep::writeJson(const std::string &path,
     std::ofstream os(path, std::ios::trunc);
     if (!os)
         fatal("cannot open JSON results file " + path);
+
+    // SILO_STATS_JSON=0 drops the per-cell "stats" blocks, restoring
+    // the pre-observability file byte-for-byte.
+    bool embed_stats = envOr("SILO_STATS_JSON", 1) != 0;
 
     os << "{\n";
     os << "  \"schema\": \"silo-sweep-v1\",\n";
@@ -275,14 +295,34 @@ Sweep::writeJson(const std::string &path,
            << ",\n";
         os << "        \"wpq_accepted_writes\": "
            << r.wpqAcceptedWrites << ",\n";
-        os << "        \"wpq_accepted_bytes\": " << r.wpqAcceptedBytes
-           << "\n";
+        os << "        \"wpq_accepted_bytes\": " << r.wpqAcceptedBytes;
+        if (embed_stats && !r.statsJson.empty()) {
+            // The registry document is already valid JSON; splice it
+            // in verbatim so the schema stays "silo-stats-v1" inside.
+            os << ",\n        \"stats\": " << r.statsJson << "\n";
+        } else {
+            os << "\n";
+        }
         os << "      }\n";
         os << "    }";
     }
     os << "\n  ]\n}\n";
     if (!os)
         fatal("failed writing JSON results file " + path);
+}
+
+std::string
+tracePathFor(const std::string &base, const CellSpec &spec)
+{
+    std::filesystem::path p(base);
+    std::string ext = p.extension().string();
+    if (ext.empty())
+        ext = ".json";
+    std::string cell = std::string(schemeName(spec.sim.scheme)) + "-" +
+                       workload::workloadName(spec.trace.kind) + "-" +
+                       std::to_string(spec.sim.numCores) + "c";
+    p.replace_filename(p.stem().string() + "-" + cell + ext);
+    return p.string();
 }
 
 std::string

@@ -160,6 +160,13 @@ class Sweep
 /** Results path for @p benchmark: $SILO_JSON, else results/<name>.json. */
 std::string jsonOutputPath(const std::string &benchmark);
 
+/**
+ * Trace file path for one cell: @p base with
+ * "-<scheme>-<workload>-<cores>c" inserted before the extension, so a
+ * whole-sweep SILO_TRACE produces one distinguishable file per cell.
+ */
+std::string tracePathFor(const std::string &base, const CellSpec &spec);
+
 } // namespace silo::harness
 
 #endif // SILO_HARNESS_SWEEP_HH

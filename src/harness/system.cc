@@ -13,6 +13,14 @@ System::System(const SimConfig &cfg,
     if (_traces.threads.size() < _cfg.numCores)
         fatal("trace has fewer threads than configured cores");
 
+    if (!_cfg.tracePath.empty()) {
+        // Attach before any component exists so their constructors can
+        // register trace tracks via _eq.tracer().
+        _tracer = std::make_unique<trace::Tracer>();
+        _tracer->enable(_cfg.coreGhz * 1000.0);
+        _eq.setTracer(_tracer.get());
+    }
+
     _values.loadImage(_traces.initialMemory);
     _logs = std::make_unique<log::LogRegionStore>(_cfg.numCores);
     _pm = std::make_unique<nvm::PmDevice>(_eq, _cfg);
@@ -52,9 +60,51 @@ System::System(const SimConfig &cfg,
                     _eq.requestStop();
             }));
     }
+
+    if (_tracer) {
+        Cycles period = cyclesFromNs(_cfg.traceSampleNs, _cfg.coreGhz);
+        _sampler = std::make_unique<trace::IntervalSampler>(
+            _eq, *_tracer, period);
+        auto track = _tracer->track("counters", "sampler");
+        for (unsigned i = 0; i < _mc->numControllers(); ++i) {
+            mc::MemController &mc = _mc->controllerAt(i);
+            _sampler->addCounter(
+                track, mc.statGroup().name() + "_wpq_occupancy",
+                [&mc] { return double(mc.wpqOccupancy()); });
+        }
+        _sampler->addCounter(track, "log_buffer_fill", [this] {
+            return double(_scheme->logBufferFill());
+        });
+        _sampler->addCounter(track, "pm_busy_banks", [this] {
+            return double(_pm->busyBanks());
+        });
+        _sampler->addCounter(track, "pm_buffer_occupancy", [this] {
+            return double(_pm->bufferOccupancy());
+        });
+        _sampler->addCounter(track, "dcw_suppressed_words", [this] {
+            return double(_pm->dcwSuppressedWords());
+        });
+        for (unsigned c = 0; c < _cfg.numCores; ++c) {
+            _sampler->addCounter(
+                track, "core" + std::to_string(c) + "_commit_stalls",
+                [this, c] {
+                    return double(_cores[c]->commitStallCycles());
+                });
+        }
+    }
 }
 
-System::~System() = default;
+System::~System()
+{
+    if (_tracer && !_traceWritten) {
+        try {
+            writeTrace();
+        } catch (const std::exception &e) {
+            warn(std::string("trace not written: ") + e.what());
+        }
+    }
+    _eq.setTracer(nullptr);
+}
 
 void
 System::run()
@@ -62,6 +112,8 @@ System::run()
     if (!_started) {
         for (auto &core : _cores)
             core->start();
+        if (_sampler)
+            _sampler->start();
         _started = true;
     }
     _eq.run();
@@ -73,6 +125,8 @@ System::runEvents(std::uint64_t max_events)
     if (!_started) {
         for (auto &core : _cores)
             core->start();
+        if (_sampler)
+            _sampler->start();
         _started = true;
     }
     _eq.run(max_events);
@@ -135,6 +189,45 @@ System::printStats(std::ostream &os)
         _hierarchy->l2(c).statGroup().print(os);
     }
     _hierarchy->l3().statGroup().print(os);
+    for (const auto &core : _cores)
+        core->statGroup().print(os);
+    _scheme->schemeStats().group.print(os);
+    if (const auto *extra = _scheme->extraStatGroup())
+        extra->print(os);
+}
+
+std::string
+System::statsJson() const
+{
+    stats::StatRegistry reg;
+    reg.add("pm", _pm->statGroup());
+    unsigned n_mc = _mc->numControllers();
+    for (unsigned i = 0; i < n_mc; ++i) {
+        reg.add(n_mc == 1 ? "mc" : "mc/" + std::to_string(i),
+                _mc->controllerAt(i).statGroup());
+    }
+    for (unsigned c = 0; c < _cfg.numCores; ++c) {
+        std::string idx = std::to_string(c);
+        reg.add("core/" + idx, _cores[c]->statGroup());
+        reg.add("cache/l1d/" + idx, _hierarchy->l1(c).statGroup());
+        reg.add("cache/l2/" + idx, _hierarchy->l2(c).statGroup());
+    }
+    reg.add("cache/l3", _hierarchy->l3().statGroup());
+    reg.add("scheme", _scheme->schemeStats().group);
+    if (const auto *extra = _scheme->extraStatGroup())
+        reg.add("scheme_extra", *extra);
+    return reg.toJson();
+}
+
+void
+System::writeTrace()
+{
+    if (!_tracer || _traceWritten)
+        return;
+    if (_sampler)
+        _sampler->flush(_eq.now());
+    _tracer->writeJson(_cfg.tracePath);
+    _traceWritten = true;
 }
 
 SimReport

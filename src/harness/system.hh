@@ -31,6 +31,8 @@
 #include "nvm/pm_device.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/sampler.hh"
+#include "sim/tracer.hh"
 #include "workload/trace.hh"
 
 namespace silo::harness
@@ -52,6 +54,12 @@ struct SimReport
     std::uint64_t wpqFullStalls = 0;
     std::uint64_t wpqAcceptedWrites = 0;
     std::uint64_t wpqAcceptedBytes = 0;
+    /**
+     * Hierarchical per-component statistics as a "silo-stats-v1" JSON
+     * document (System::statsJson()); embedded per cell by the sweep
+     * engine. Empty when the producer did not attach it.
+     */
+    std::string statsJson;
 };
 
 /** A complete simulated machine executing a traced workload. */
@@ -94,6 +102,22 @@ class System
     /** Dump every component's statistics (gem5-style stat lines). */
     void printStats(std::ostream &os);
 
+    /**
+     * Every component's statistics as one "silo-stats-v1" JSON
+     * document (see stats::StatRegistry).
+     */
+    std::string statsJson() const;
+
+    /**
+     * Write the Chrome trace-event JSON to SimConfig::tracePath.
+     * No-op when tracing is off or the trace was already written; the
+     * destructor calls it as a fallback.
+     */
+    void writeTrace();
+
+    /** The run's tracer, or nullptr when tracing is off. */
+    trace::Tracer *tracer() { return _tracer.get(); }
+
     /** @name Component access (tests, benches, examples) */
     /// @{
     EventQueue &eventQueue() { return _eq; }
@@ -116,6 +140,11 @@ class System
     SimConfig _cfg;
     /** Own a copy: replay cores reference into it for the whole run. */
     workload::WorkloadTraces _traces;
+    /**
+     * Exists only when _cfg.tracePath is set; attached to _eq before
+     * any component is constructed so their ctors can register tracks.
+     */
+    std::unique_ptr<trace::Tracer> _tracer;
     EventQueue _eq;
     WordStore _values;
     std::unique_ptr<log::LogRegionStore> _logs;
@@ -125,9 +154,12 @@ class System
     std::unique_ptr<check::PersistencyChecker> _checker;
     std::unique_ptr<log::LoggingScheme> _scheme;
     std::vector<std::unique_ptr<core::ReplayCore>> _cores;
+    /** Interval sampler feeding counter tracks; tracing-on only. */
+    std::unique_ptr<trace::IntervalSampler> _sampler;
     unsigned _finishedCores = 0;
     bool _started = false;
     bool _crashed = false;
+    bool _traceWritten = false;
 };
 
 } // namespace silo::harness

@@ -16,6 +16,8 @@ constexpr unsigned heldHeadroom = 8;
 LadScheme::LadScheme(SchemeContext ctx)
     : LoggingScheme(std::move(ctx)), _cores(_ctx.cfg.numCores)
 {
+    _ladStats.addScalar(_fallbacks);
+    _ladStats.addScalar(_phase1Lines);
     // Dirty L3 victims of uncommitted transactions are buffered in the
     // MC as held entries instead of draining to PM.
     _ctx.hierarchy.setEvictionHeldPredicate([this](Addr line) {
@@ -97,13 +99,14 @@ LadScheme::relieveLine(unsigned core, Addr line)
     cs.undoLogged.insert(line);
     cs.relieving.insert(line);
     ++_fallbacks;
+    Tick relieve_start = _ctx.eq.now();
 
     // Slow mode: read the line's old data from PM, then persist undo
     // records for the words this transaction modified, then let the
     // held entry drain. Until the records are handed to the MC's ADR
     // log path the line stays in `relieving`, so evictions racing with
     // the read are still buffered as held entries.
-    _ctx.mc.read(line, [this, core, line] {
+    _ctx.mc.read(line, [this, core, line, relieve_start] {
         CoreState &cs2 = _cores[core];
         std::vector<std::pair<Addr, Word>> words;
         for (const auto &[addr, old_val] : cs2.undoImage) {
@@ -112,6 +115,10 @@ LadScheme::relieveLine(unsigned core, Addr line)
         }
         if (words.empty()) {
             cs2.relieving.erase(line);
+            if (auto *tr = _ctx.eq.tracer()) {
+                tr->completeSpan(tr->track("scheme", "lad"), "relieve",
+                                 relieve_start, _ctx.eq.now());
+            }
             _ctx.mc.releaseHeld(line);
             return;
         }
@@ -124,9 +131,16 @@ LadScheme::relieveLine(unsigned core, Addr line)
             rec.txid = cs2.txid;
             rec.dataAddr = addr;
             rec.oldData = old_val;
-            writeLogWithRetry(core, rec, [this, line, remaining] {
-                if (--*remaining == 0)
+            writeLogWithRetry(core, rec,
+                              [this, line, remaining, relieve_start] {
+                if (--*remaining == 0) {
+                    if (auto *tr = _ctx.eq.tracer()) {
+                        tr->completeSpan(tr->track("scheme", "lad"),
+                                         "relieve", relieve_start,
+                                         _ctx.eq.now());
+                    }
                     _ctx.mc.releaseHeld(line);
+                }
             });
         }
         // Records are in the ADR log path now (durable): evictions of

@@ -48,6 +48,11 @@ class LadScheme : public LoggingScheme
         return _fallbacks.value();
     }
 
+    const stats::StatGroup *extraStatGroup() const override
+    {
+        return &_ladStats;
+    }
+
   private:
     struct CoreState
     {
@@ -94,6 +99,7 @@ class LadScheme : public LoggingScheme
         "lines pushed to slow mode (PM read + undo log)"};
     stats::Scalar _phase1Lines{"lad_phase1_lines",
         "dirty lines flushed during commit phase 1"};
+    stats::StatGroup _ladStats{"lad"};
 };
 
 } // namespace silo::log

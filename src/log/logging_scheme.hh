@@ -24,6 +24,7 @@
 #include "mem/hierarchy.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/tracer.hh"
 #include "sim/word_store.hh"
 
 namespace silo::check
@@ -67,6 +68,18 @@ struct SchemeStats
         "cycles stores waited on the scheme"};
     stats::Scalar crashFlushBytes{"crash_flush_bytes",
         "bytes flushed by battery on a crash"};
+
+    /** All of the above, for the structured stats export. */
+    stats::StatGroup group{"scheme"};
+
+    SchemeStats()
+    {
+        group.addScalar(logWrites);
+        group.addScalar(logBytes);
+        group.addScalar(commitStallCycles);
+        group.addScalar(storeStallCycles);
+        group.addScalar(crashFlushBytes);
+    }
 };
 
 /** Abstract atomic-durability mechanism. */
@@ -143,6 +156,23 @@ class LoggingScheme
     /** Virtual so decorators (check::CheckedScheme) can forward. */
     virtual const SchemeStats &schemeStats() const { return _stats; }
 
+    /**
+     * Total entries currently buffered on-chip by the scheme (Silo /
+     * MorLog log buffers); 0 for schemes without one. Sampled into the
+     * "log_buffer_fill" counter track.
+     */
+    virtual unsigned logBufferFill() const { return 0; }
+
+    /**
+     * Scheme-specific statistics beyond SchemeStats (e.g. Silo's log
+     * reduction counters), or nullptr. Registered under "scheme_extra"
+     * in the stats export.
+     */
+    virtual const stats::StatGroup *extraStatGroup() const
+    {
+        return nullptr;
+    }
+
   protected:
     /**
      * Persist @p record via the MC, retrying while the WPQ is full.
@@ -158,7 +188,7 @@ class LoggingScheme
         _stats.logBytes += record.sizeBytes();
         _inFlightLogs[addr] = record;
         noteInFlightLog(addr, record);
-        tryPersist(addr, record, std::move(done));
+        tryPersist(addr, record, _ctx.eq.now(), std::move(done));
     }
 
     /**
@@ -184,16 +214,22 @@ class LoggingScheme
 
   private:
     void
-    tryPersist(Addr addr, LogRecord record, std::function<void()> done)
+    tryPersist(Addr addr, LogRecord record, Tick started,
+               std::function<void()> done)
     {
         if (_ctx.mc.tryWriteLog(addr, record)) {
+            if (auto *tr = _ctx.eq.tracer()) {
+                tr->completeSpan(tr->track("scheme", name()),
+                                 "log-persist", started, _ctx.eq.now());
+            }
             _inFlightLogs.erase(addr);
             done();
             return;
         }
         _ctx.mc.requestWriteSlot(
-            addr, [this, addr, record, done = std::move(done)]() mutable {
-                tryPersist(addr, record, std::move(done));
+            addr, [this, addr, record, started,
+                   done = std::move(done)]() mutable {
+                tryPersist(addr, record, started, std::move(done));
             });
     }
 };

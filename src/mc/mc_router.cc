@@ -9,9 +9,11 @@ McRouter::McRouter(EventQueue &eq, const SimConfig &cfg,
                    nvm::PmDevice &pm, log::LogRegionStore &logs)
 {
     unsigned n = cfg.numMemControllers ? cfg.numMemControllers : 1;
-    for (unsigned i = 0; i < n; ++i)
-        _mcs.push_back(std::make_unique<MemController>(eq, cfg, pm,
-                                                       logs));
+    for (unsigned i = 0; i < n; ++i) {
+        std::string name = n == 1 ? "mc" : "mc" + std::to_string(i);
+        _mcs.push_back(std::make_unique<MemController>(
+            eq, cfg, pm, logs, std::move(name)));
+    }
 }
 
 unsigned

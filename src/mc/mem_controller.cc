@@ -23,8 +23,8 @@ transferCycles(unsigned bytes)
 
 MemController::MemController(EventQueue &eq, const SimConfig &cfg,
                              nvm::PmDevice &pm,
-                             log::LogRegionStore &logs)
-    : _eq(eq), _cfg(cfg), _pm(pm), _logs(logs)
+                             log::LogRegionStore &logs, std::string name)
+    : _eq(eq), _cfg(cfg), _pm(pm), _logs(logs), _stats(name)
 {
     _stats.addScalar(_writes);
     _stats.addScalar(_bytes);
@@ -32,6 +32,9 @@ MemController::MemController(EventQueue &eq, const SimConfig &cfg,
     _stats.addScalar(_forwards);
     _stats.addScalar(_reads);
     _stats.addScalar(_fullStalls);
+    _stats.addDistribution(_occupancy);
+    if (auto *tr = _eq.tracer())
+        _track = tr->track("mem", std::move(name));
 }
 
 bool
@@ -66,6 +69,7 @@ MemController::enqueue(WpqEntry &&entry)
     ++_writes;
     _bytes += entry.bytes;
     _wpq.push_back(std::move(entry));
+    _occupancy.sample(_wpq.size());
     scheduleDrain();
     return true;
 }
@@ -197,6 +201,11 @@ MemController::drainOne()
     }
 
     Cycles transfer = transferCycles(it->bytes);
+    if (auto *tr = _eq.tracer()) {
+        tr->completeSpan(_track,
+                         it->logRegion ? "drain-log" : "drain-data",
+                         _eq.now(), _eq.now() + transfer);
+    }
     _wpq.erase(it);
     notifyWaiters(1);
     if (!_wpq.empty())
@@ -235,6 +244,8 @@ MemController::applyEntry(const WpqEntry &entry)
 void
 MemController::crashDrain()
 {
+    if (auto *tr = _eq.tracer())
+        tr->instant(_track, "adr-crash-drain", _eq.now());
     for (const auto &e : _wpq) {
         if (!e.held)
             applyEntry(e);

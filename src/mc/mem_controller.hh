@@ -29,6 +29,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/tracer.hh"
 
 namespace silo::mc
 {
@@ -37,8 +38,13 @@ namespace silo::mc
 class MemController
 {
   public:
+    /**
+     * @param name Stats/trace label; the multi-MC router passes
+     *        "mc<i>" so per-controller statistics stay distinguishable.
+     */
     MemController(EventQueue &eq, const SimConfig &cfg,
-                  nvm::PmDevice &pm, log::LogRegionStore &logs);
+                  nvm::PmDevice &pm, log::LogRegionStore &logs,
+                  std::string name = "mc");
 
     /** @name Write producers (all return false when the WPQ is full) */
     /// @{
@@ -117,9 +123,12 @@ class MemController
     std::uint64_t coalescedWrites() const { return _coalesced.value(); }
     std::uint64_t readForwards() const { return _forwards.value(); }
     std::uint64_t fullStalls() const { return _fullStalls.value(); }
+    /** Current WPQ occupancy in entries (interval-sampler probe). */
+    unsigned wpqOccupancy() const { return unsigned(_wpq.size()); }
     /// @}
 
     stats::StatGroup &statGroup() { return _stats; }
+    const stats::StatGroup &statGroup() const { return _stats; }
 
   private:
     struct WpqEntry
@@ -156,7 +165,7 @@ class MemController
     unsigned _heldCount = 0;
     bool _drainScheduled = false;
 
-    stats::StatGroup _stats{"mc"};
+    stats::StatGroup _stats;
     stats::Scalar _writes{"wpq_writes", "writes accepted into the WPQ"};
     stats::Scalar _bytes{"wpq_bytes", "bytes accepted into the WPQ"};
     stats::Scalar _coalesced{"wpq_coalesced",
@@ -166,6 +175,10 @@ class MemController
     stats::Scalar _reads{"reads", "reads issued to the PM device"};
     stats::Scalar _fullStalls{"wpq_full_stalls",
         "write attempts rejected because the WPQ was full"};
+    stats::Distribution _occupancy{
+        "wpq_occupancy", "WPQ entries occupied at each accept", 4, 32};
+    /** This controller's trace timeline; 0 when tracing is off. */
+    trace::Tracer::TrackId _track = 0;
 };
 
 } // namespace silo::mc

@@ -80,6 +80,7 @@ class Cache
     std::uint64_t hits() const { return _hits.value(); }
     std::uint64_t misses() const { return _misses.value(); }
     stats::StatGroup &statGroup() { return _stats; }
+    const stats::StatGroup &statGroup() const { return _stats; }
 
   private:
     struct Way

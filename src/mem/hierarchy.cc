@@ -14,6 +14,8 @@ CacheHierarchy::CacheHierarchy(EventQueue &eq, const SimConfig &cfg,
             "l2_" + std::to_string(c), cfg.l2));
     }
     _l3 = std::make_unique<Cache>("l3", cfg.l3);
+    if (auto *tr = _eq.tracer())
+        _track = tr->track("mem", "writeback");
 }
 
 std::array<Word, wordsPerLine>
@@ -29,15 +31,26 @@ void
 CacheHierarchy::writebackWithRetry(Addr line_addr, bool evicted,
                                    bool held, std::function<void()> done)
 {
+    writebackAttempt(line_addr, evicted, held, _eq.now(),
+                     std::move(done));
+}
+
+void
+CacheHierarchy::writebackAttempt(Addr line_addr, bool evicted, bool held,
+                                 Tick first, std::function<void()> done)
+{
     if (_mc.tryWriteLine(line_addr, lineValues(line_addr), evicted,
                          held)) {
+        if (auto *tr = _eq.tracer())
+            tr->completeSpan(_track, "writeback", first, _eq.now());
         done();
         return;
     }
     _mc.requestWriteSlot(line_addr,
-                         [this, line_addr, evicted, held,
+                         [this, line_addr, evicted, held, first,
                           done = std::move(done)]() mutable {
-        writebackWithRetry(line_addr, evicted, held, std::move(done));
+        writebackAttempt(line_addr, evicted, held, first,
+                         std::move(done));
     });
 }
 

@@ -19,6 +19,7 @@
 #include "mem/cache.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/tracer.hh"
 
 namespace silo::mem
 {
@@ -91,6 +92,10 @@ class CacheHierarchy
     void writebackWithRetry(Addr line_addr, bool evicted, bool held,
                             std::function<void()> done);
 
+    /** Retry loop body; @p first is the first attempt's tick. */
+    void writebackAttempt(Addr line_addr, bool evicted, bool held,
+                          Tick first, std::function<void()> done);
+
     EventQueue &_eq;
     const SimConfig &_cfg;
     mc::McRouter &_mc;
@@ -100,6 +105,8 @@ class CacheHierarchy
     std::vector<std::unique_ptr<Cache>> _l2;
     std::unique_ptr<Cache> _l3;
     std::function<bool(Addr)> _evictionHeld;
+    /** Write-back timeline; 0 when tracing is off. */
+    trace::Tracer::TrackId _track = 0;
 };
 
 } // namespace silo::mem

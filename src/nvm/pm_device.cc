@@ -17,6 +17,27 @@ PmDevice::PmDevice(EventQueue &eq, const SimConfig &cfg)
     _stats.addScalar(_reads);
     _stats.addScalar(_bufferHits);
     _stats.addScalar(_coalesced);
+    _stats.addDistribution(_evictionWords);
+    if (auto *tr = _eq.tracer())
+        _track = tr->track("mem", "pm");
+}
+
+unsigned
+PmDevice::busyBanks() const
+{
+    unsigned busy = 0;
+    for (Tick until : _banks)
+        busy += until > _eq.now();
+    return busy;
+}
+
+unsigned
+PmDevice::bufferOccupancy() const
+{
+    unsigned occupied = 0;
+    for (const auto &line : _lines)
+        occupied += line.valid;
+    return occupied;
 }
 
 Tick
@@ -74,6 +95,7 @@ PmDevice::startEviction(unsigned idx)
     line.evicting = true;
 
     unsigned changed = applyToMedia(line);
+    _evictionWords.sample(changed);
     if (changed == 0) {
         // DCW removed every word: no media write happens at all; the
         // slot frees immediately.
@@ -86,7 +108,15 @@ PmDevice::startEviction(unsigned idx)
     ++_lineWrites;
     Cycles busy = _cfg.pmWriteBaseCycles +
                   _cfg.pmWritePerWordCycles * Cycles(changed);
-    Tick done = occupyBank(bankOf(line.base), busy);
+    unsigned bank = bankOf(line.base);
+    Tick done = occupyBank(bank, busy);
+    if (auto *tr = _eq.tracer()) {
+        // One sub-track per bank so concurrent programming pulses on
+        // different banks render side by side.
+        tr->completeSpan(
+            tr->track("mem", "pm-bank" + std::to_string(bank)),
+            "program", done - busy, done);
+    }
     _eq.schedule(done, [this, idx] {
         _lines[idx] = BufferLine{};
         notifyOneWaiter();
@@ -183,6 +213,8 @@ PmDevice::read(Addr line_addr)
 void
 PmDevice::drainAll()
 {
+    if (auto *tr = _eq.tracer())
+        tr->instant(_track, "buffer-drain", _eq.now());
     for (auto &line : _lines) {
         if (line.valid && !line.evicting)
             applyToMedia(line);

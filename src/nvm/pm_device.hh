@@ -24,6 +24,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/tracer.hh"
 #include "sim/word_store.hh"
 
 namespace silo::nvm
@@ -105,9 +106,14 @@ class PmDevice
     {
         return _coalesced.value();
     }
+    /** Banks still busy at the current tick (interval-sampler probe). */
+    unsigned busyBanks() const;
+    /** Valid on-PM buffer lines (interval-sampler probe). */
+    unsigned bufferOccupancy() const;
     /// @}
 
     stats::StatGroup &statGroup() { return _stats; }
+    const stats::StatGroup &statGroup() const { return _stats; }
 
   private:
     struct BufferLine
@@ -163,6 +169,10 @@ class PmDevice
         "reads served by the on-PM buffer"};
     stats::Scalar _coalesced{"buffer_coalesced_writes",
         "writes merged into a resident buffer line"};
+    stats::Distribution _evictionWords{"eviction_changed_words",
+        "words actually programmed per buffer-line eviction", 1, 33};
+    /** Device trace timeline; 0 when tracing is off. */
+    trace::Tracer::TrackId _track = 0;
 };
 
 } // namespace silo::nvm

@@ -16,6 +16,15 @@ SiloScheme::SiloScheme(log::SchemeContext ctx)
         [this](Addr line) { onCachelineEvicted(line); });
 }
 
+trace::Tracer::TrackId
+SiloScheme::coreTrack(unsigned core)
+{
+    // Only called under an eq.tracer() guard; the tracer dedups the
+    // (process, thread) pair, so the lazy lookup is safe in hot paths.
+    return _ctx.eq.tracer()->track("scheme",
+                                   "silo-core" + std::to_string(core));
+}
+
 void
 SiloScheme::txBegin(unsigned core, std::uint16_t txid)
 {
@@ -23,6 +32,7 @@ SiloScheme::txBegin(unsigned core, std::uint16_t txid)
     cs.txid = txid;
     cs.open = true;
     cs.lastCommitted = false;
+    cs.txStart = _ctx.eq.now();
     cs.txTotalLogs = 0;
     cs.txAppends = 0;
 }
@@ -148,7 +158,7 @@ SiloScheme::handleOverflow(unsigned core)
             if (!superseded) {
                 cs.pendingInPlace.push_back(
                     PendingUpdate{entry.txid, entry.addr,
-                                  entry.newData});
+                                  entry.newData, _ctx.eq.now()});
             }
         }
         Addr data_addr = entry.addr;
@@ -256,7 +266,7 @@ SiloScheme::stageInPlace(unsigned core, std::uint16_t txid, Addr addr,
             return;
         }
     }
-    staged.push_back(PendingUpdate{txid, addr, value});
+    staged.push_back(PendingUpdate{txid, addr, value, _ctx.eq.now()});
     _ctx.eq.scheduleAfter(delay,
                           [this, core, addr] { issueInPlace(core, addr); });
 }
@@ -281,6 +291,12 @@ SiloScheme::issueInPlace(unsigned core, Addr addr)
         if (it2 == staged2.end())
             return;
         if (it2->newData == value) {
+            // The in-place update left the battery domain for the ADR
+            // queue: the committed word is now durably persisted.
+            if (auto *tr = _ctx.eq.tracer()) {
+                tr->completeSpan(coreTrack(core), "persist",
+                                 it2->stagedAt, _ctx.eq.now());
+            }
             staged2.erase(it2);
             return;
         }
@@ -300,12 +316,25 @@ SiloScheme::txEnd(unsigned core, std::function<void()> done)
     _reduction.maxRemainingLogs =
         std::max(_reduction.maxRemainingLogs, cs.txAppends);
 
+    // Speculation window: from Tx_begin until the commit request, the
+    // transaction's logs exist only in the battery-backed buffer.
+    if (auto *tr = _ctx.eq.tracer()) {
+        tr->completeSpan(coreTrack(core), "speculate", cs.txStart,
+                         _ctx.eq.now());
+    }
+    Tick commit_request = _ctx.eq.now();
+
     // Commit: the log generator notifies the log controller; once the
     // ACK returns, Tx_end completes — no PM write is on this path
     // (§III-D). The commit state change is atomic with the ACK.
     _ctx.eq.scheduleAfter(_ctx.cfg.commitAckCycles,
-                          [this, core, done = std::move(done)] {
+                          [this, core, commit_request,
+                           done = std::move(done)] {
         CoreState &cs2 = _cores[core];
+        if (auto *tr = _ctx.eq.tracer()) {
+            tr->completeSpan(coreTrack(core), "validate",
+                             commit_request, _ctx.eq.now());
+        }
         for (auto &e : cs2.buffer) {
             if (e.txid == cs2.txid)
                 e.committed = true;

@@ -62,6 +62,20 @@ struct LogReductionStats
     stats::Scalar inPlaceUpdates{"in_place_updates",
         "post-commit new-data words written to the data region"};
     std::uint64_t maxRemainingLogs = 0;
+
+    /** All of the above, for the structured stats export. */
+    stats::StatGroup group{"silo"};
+
+    LogReductionStats()
+    {
+        group.addAverage(totalLogsPerTx);
+        group.addAverage(remainingLogsPerTx);
+        group.addScalar(ignored);
+        group.addScalar(merged);
+        group.addScalar(flushBitsSet);
+        group.addScalar(overflows);
+        group.addScalar(inPlaceUpdates);
+    }
 };
 
 /** The Silo logging scheme. */
@@ -91,6 +105,20 @@ class SiloScheme : public log::LoggingScheme
         return _cores[core].buffer.size();
     }
 
+    unsigned
+    logBufferFill() const override
+    {
+        unsigned total = 0;
+        for (const auto &cs : _cores)
+            total += unsigned(cs.buffer.size());
+        return total;
+    }
+
+    const stats::StatGroup *extraStatGroup() const override
+    {
+        return &_reduction.group;
+    }
+
   private:
     /** A committed new-data word on its way to the data region. */
     struct PendingUpdate
@@ -98,6 +126,7 @@ class SiloScheme : public log::LoggingScheme
         std::uint16_t txid;
         Addr addr;
         Word newData;
+        Tick stagedAt = 0;  //!< trace: start of the persist span
     };
 
     struct CoreState
@@ -105,6 +134,7 @@ class SiloScheme : public log::LoggingScheme
         std::uint16_t txid = 0;
         bool open = false;
         bool lastCommitted = false;
+        Tick txStart = 0;   //!< trace: start of the speculate span
         std::deque<LogBufferEntry> buffer;   //!< battery-backed FIFO
         /**
          * Committed entries leave the buffer at commit ("the entries
@@ -159,6 +189,9 @@ class SiloScheme : public log::LoggingScheme
 
     /** The MC eviction hook: set flush-bits of matching entries. */
     void onCachelineEvicted(Addr line);
+
+    /** Per-core scheme timeline (speculate/validate/persist spans). */
+    trace::Tracer::TrackId coreTrack(unsigned core);
 
     std::vector<CoreState> _cores;
     LogReductionStats _reduction;

@@ -142,6 +142,17 @@ struct SimConfig
     /** LAD: per-line issue spacing of the commit phase-1 flush. */
     Cycles ladFlushPerLineCycles = 160;
 
+    // --- Observability (src/sim/tracer.hh) ---
+    /**
+     * Write a Chrome trace-event / Perfetto JSON timeline of this run
+     * to the given path; empty disables tracing entirely (no tracer is
+     * allocated and hot-path sites reduce to one null-pointer test).
+     * Driven by SILO_TRACE / SILO_TRACE_CELL in the harness.
+     */
+    std::string tracePath;
+    /** Interval-sampler period in simulated ns (counter tracks). */
+    double traceSampleNs = 100.0;
+
     // --- Persistency checker (src/check) ---
     /**
      * Shadow the memory system with the durability-invariant checker.
@@ -164,6 +175,8 @@ struct SimConfig
             fatal("logBufferEntries must be positive");
         if (onPmBufferLineBytes % lineBytes != 0)
             fatal("on-PM buffer line must be a multiple of 64B");
+        if (!(traceSampleNs > 0.0))
+            fatal("traceSampleNs must be positive");
     }
 };
 

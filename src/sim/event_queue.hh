@@ -22,6 +22,8 @@
 namespace silo
 {
 
+namespace trace { class Tracer; }
+
 /**
  * The central event queue driving a simulated system.
  *
@@ -105,10 +107,29 @@ class EventQueue
         // Move the callback out before popping so it can reschedule.
         Scheduled ev = _heap.top();
         _heap.pop();
+        // Observers (the interval sampler) see the settled state of the
+        // outgoing tick just before time advances. Driving them from
+        // here instead of from their own scheduled events keeps a
+        // traced run's event stream identical to an untraced one.
+        if (_advanceHook && ev.when > _now)
+            _advanceHook(ev.when);
         _now = ev.when;
         ++_executed;
         ev.callback();
         return true;
+    }
+
+    /**
+     * Install @p hook, called with the upcoming tick whenever the next
+     * event advances simulated time (null uninstalls). During the call
+     * now() still reports the outgoing tick, whose state is final: all
+     * of its events have executed. Used by the tracing interval
+     * sampler; unset for untraced runs, costing one test per event.
+     */
+    void
+    setAdvanceHook(std::function<void(Tick)> hook)
+    {
+        _advanceHook = std::move(hook);
     }
 
     /**
@@ -124,6 +145,17 @@ class EventQueue
             ++n;
         return n;
     }
+
+    /**
+     * Attach the run's tracer (null detaches). The queue only carries
+     * the pointer so every component reachable from the queue can trace
+     * without extra plumbing; with tracing off it stays null and each
+     * instrumentation site costs one pointer test.
+     */
+    void setTracer(trace::Tracer *tracer) { _tracer = tracer; }
+
+    /** @return the attached tracer, or nullptr when tracing is off. */
+    trace::Tracer *tracer() const { return _tracer; }
 
     /** Drop all pending events and reset time (used between experiments). */
     void
@@ -163,6 +195,8 @@ class EventQueue
     std::uint64_t _executed = 0;
     std::uint64_t _nextSeq = 0;
     bool _stopRequested = false;
+    trace::Tracer *_tracer = nullptr;
+    std::function<void(Tick)> _advanceHook;
 };
 
 } // namespace silo

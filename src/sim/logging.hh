@@ -12,6 +12,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <string>
 
@@ -50,18 +52,81 @@ fatal(const std::string &msg)
     throw FatalError("fatal: " + msg);
 }
 
-/** Alert the user to questionable but survivable behaviour. */
+namespace detail
+{
+
+/** Serializes every warn()/inform() line across sweep worker threads. */
+inline std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/**
+ * Per-thread worker label set by the parallel sweep engine; -1 (the
+ * default) means "not a worker" and emits no prefix.
+ */
+inline int &
+logWorkerIdRef()
+{
+    thread_local int id = -1;
+    return id;
+}
+
+inline void
+emitLine(const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    int id = logWorkerIdRef();
+    if (id >= 0)
+        std::fprintf(stderr, "[w%d] %s: %s\n", id, tag, msg.c_str());
+    else
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+/**
+ * Tag this thread's warn()/inform() lines with a worker id (the
+ * parallel sweep engine calls this per worker). Negative removes the
+ * prefix again.
+ */
+inline void
+setLogWorkerId(int id)
+{
+    detail::logWorkerIdRef() = id;
+}
+
+/**
+ * Alert the user to questionable but survivable behaviour.
+ * Thread-safe: concurrent callers never interleave within a line.
+ */
 inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    detail::emitLine("warn", msg);
 }
 
-/** Emit a purely informational status message. */
+/** Like warn(), but each distinct message prints at most once. */
+inline void
+warn_once(const std::string &msg)
+{
+    static std::mutex seen_mutex;
+    static std::set<std::string> seen;
+    {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        if (!seen.insert(msg).second)
+            return;
+    }
+    warn(msg);
+}
+
+/** Emit a purely informational status message (thread-safe). */
 inline void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    detail::emitLine("info", msg);
 }
 
 } // namespace silo

@@ -125,6 +125,34 @@ class Distribution
     const std::string &name() const { return _name; }
     const std::string &desc() const { return _desc; }
 
+    /**
+     * Upper-bound estimate of the @p frac quantile (frac in (0, 1]):
+     * the inclusive upper edge of the bucket where the cumulative
+     * count reaches ceil(frac * count), clamped to the observed
+     * maximum (exact when samples hit bucket edges). Samples that
+     * landed in the overflow bucket resolve to the observed maximum.
+     * @return 0 when no samples were recorded.
+     */
+    std::uint64_t percentile(double frac) const;
+
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p95() const { return percentile(0.95); }
+    std::uint64_t p99() const { return percentile(0.99); }
+
+    /**
+     * Invariant: every sample landed in exactly one bucket, so the
+     * bucket counts plus the overflow must equal the summary count.
+     * The JSON serializer asserts this before exporting.
+     */
+    bool
+    countsConsistent() const
+    {
+        std::uint64_t total = _overflow;
+        for (std::uint64_t b : _buckets)
+            total += b;
+        return total == _stats.count();
+    }
+
     void
     reset()
     {
@@ -146,12 +174,19 @@ class Distribution
  * A registry of statistics owned by one component.
  *
  * Registration keeps raw pointers; the owning component must outlive the
- * group (they are members of the same object in practice).
+ * group (they are members of the same object in practice). Because the
+ * pointers refer into the owning object, copying or moving a component
+ * holding a StatGroup would leave the copy's group pointing at the
+ * original's statistics — the group is therefore neither copyable nor
+ * movable, which makes every such component immovable by construction.
  */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name = "") : _name(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
 
     Scalar &
     addScalar(Scalar &s)
@@ -177,6 +212,14 @@ class StatGroup
     /** Dump all registered statistics as "group.stat value # desc". */
     void print(std::ostream &os) const;
 
+    /**
+     * Emit the group as one JSON object: scalars as numbers, averages
+     * as {mean,min,max,count,sum} objects, distributions additionally
+     * with p50/p95/p99, bucket_width, buckets[] and overflow. Panics
+     * if a distribution fails countsConsistent().
+     */
+    void printJson(std::ostream &os) const;
+
     /** Reset every registered statistic. */
     void
     reset()
@@ -196,6 +239,36 @@ class StatGroup
     std::vector<Scalar *> _scalars;
     std::vector<Average *> _averages;
     std::vector<Distribution *> _distributions;
+};
+
+/**
+ * A hierarchical registry of StatGroups for structured export.
+ *
+ * Components register under slash-separated paths ("mc/0", "cache/l1d0",
+ * "core/3"); writeJson() nests the path segments into one JSON tree
+ * under the versioned "silo-stats-v1" schema, which the sweep engine
+ * embeds per cell in results/*.json. Paths are kept sorted, so the
+ * serialization is deterministic regardless of registration order.
+ *
+ * Like StatGroup, the registry holds raw pointers: the registered
+ * groups must outlive it (it is built transiently at export time).
+ */
+class StatRegistry
+{
+  public:
+    /** Register @p group under @p path ('/'-separated hierarchy). */
+    void add(std::string path, const StatGroup &group);
+
+    /** Write {"schema":"silo-stats-v1","groups":{...}} to @p os. */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson() into a string. */
+    std::string toJson() const;
+
+    std::size_t size() const { return _groups.size(); }
+
+  private:
+    std::map<std::string, const StatGroup *> _groups;
 };
 
 } // namespace silo::stats

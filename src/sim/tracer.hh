@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Simulated-time tracing with Chrome trace-event / Perfetto JSON export.
+ *
+ * The Tracer records three kinds of timeline events against simulated
+ * time (ticks):
+ *
+ *  - spans ("complete" events, ph "X"): an interval of work on a track,
+ *    e.g. one WPQ drain, one PM bank programming pulse, one
+ *    transaction's commit wait. Nested intervals on the same track
+ *    render as a flame graph.
+ *  - counters (ph "C"): a sampled value over time, e.g. WPQ occupancy
+ *    or log-buffer fill (fed by trace::IntervalSampler).
+ *  - instants (ph "i"): a point event, e.g. the ADR crash drain.
+ *
+ * Tracks are (process, thread) name pairs; every component registers
+ * its own track so the exported timeline groups by subsystem (core,
+ * mc, pm, mem, scheme). Events are buffered in memory and written once
+ * by writeJson() — the file loads directly in https://ui.perfetto.dev
+ * or chrome://tracing.
+ *
+ * Cost model: a disabled Tracer records nothing and allocates nothing;
+ * every recording method starts with one branch on enabled(). The hot
+ * paths of the simulator never even reach that branch — they guard on
+ * EventQueue::tracer(), which is a null pointer unless the run was
+ * started with tracing on (SimConfig::tracePath / SILO_TRACE), so the
+ * tracer-off overhead is a single pointer test per site.
+ */
+
+#ifndef SILO_SIM_TRACER_HH
+#define SILO_SIM_TRACER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace silo::trace
+{
+
+/** Simulated-time span/counter recorder with Chrome-trace export. */
+class Tracer
+{
+  public:
+    /** Identifies one (process, thread) timeline. */
+    using TrackId = std::uint32_t;
+
+    /** Constructed disabled: all recording calls are no-ops. */
+    Tracer() = default;
+
+    /**
+     * Start recording.
+     * @param ticks_per_us Simulated ticks per exported microsecond
+     *        (Chrome traces use µs; 2 GHz cores → 2000 ticks/µs).
+     */
+    void
+    enable(double ticks_per_us = 2000.0)
+    {
+        _enabled = true;
+        _ticksPerUs = ticks_per_us > 0 ? ticks_per_us : 1.0;
+    }
+
+    bool enabled() const { return _enabled; }
+
+    /**
+     * Register (or look up) the track named (@p process, @p thread).
+     * Tracks are deduplicated by name pair, so components may call
+     * this lazily from hot paths. @return 0 when disabled.
+     */
+    TrackId track(const std::string &process, const std::string &thread);
+
+    /** Record a completed interval [@p start, @p end] on @p track. */
+    void completeSpan(TrackId track, std::string name, Tick start,
+                      Tick end);
+
+    /** Record one sample of counter @p name at time @p ts. */
+    void counter(TrackId track, std::string name, Tick ts, double value);
+
+    /** Record a point event at time @p ts. */
+    void instant(TrackId track, std::string name, Tick ts);
+
+    /** Number of recorded timeline events (excludes track metadata). */
+    std::size_t eventCount() const { return _events.size(); }
+
+    /** Number of registered tracks. */
+    std::size_t trackCount() const { return _tracks.size(); }
+
+    /**
+     * Write the Chrome trace-event JSON. Events are emitted sorted by
+     * timestamp (stable, so same-tick events keep recording order),
+     * which also makes timestamps monotone per track in file order.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Write to @p path, creating parent directories as needed. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    enum class Kind : std::uint8_t { Complete, Counter, Instant };
+
+    struct Event
+    {
+        Kind kind;
+        TrackId track;
+        std::string name;
+        Tick ts;
+        Tick dur = 0;      //!< Complete only
+        double value = 0;  //!< Counter only
+    };
+
+    struct Track
+    {
+        std::string process;
+        std::string thread;
+        std::uint32_t pid;  //!< one per distinct process name
+    };
+
+    bool _enabled = false;
+    double _ticksPerUs = 2000.0;
+    std::vector<Track> _tracks;
+    std::vector<std::string> _processes;  //!< index + 1 == pid
+    std::vector<Event> _events;
+};
+
+} // namespace silo::trace
+
+#endif // SILO_SIM_TRACER_HH

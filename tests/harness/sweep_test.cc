@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -66,6 +67,7 @@ expectReportsEqual(const SimReport &a, const SimReport &b,
     EXPECT_EQ(a.wpqFullStalls, b.wpqFullStalls) << label;
     EXPECT_EQ(a.wpqAcceptedWrites, b.wpqAcceptedWrites) << label;
     EXPECT_EQ(a.wpqAcceptedBytes, b.wpqAcceptedBytes) << label;
+    EXPECT_EQ(a.statsJson, b.statsJson) << label;
 }
 
 std::string
@@ -180,6 +182,47 @@ TEST(SweepTraceCache, SharedConfigIsGeneratedOnceAndPointerShared)
     EXPECT_NE(sweep.results()[0].traces, sweep.results()[2].traces);
     EXPECT_EQ(sweep.traceCache().generationCount(), 2u)
         << "the engine must generate each unique config exactly once";
+}
+
+TEST(SweepStats, StatsJsonEmbeddedPerCellAndRemovableViaEnv)
+{
+    Sweep sweep({.jobs = 2, .progress = false});
+    for (auto &spec : smallMatrix())
+        sweep.add(spec);
+    sweep.run();
+    for (const auto &r : sweep.results()) {
+        EXPECT_NE(r.report.statsJson.find(
+                      "\"schema\": \"silo-stats-v1\""),
+                  std::string::npos);
+    }
+
+    std::string with_path = ::testing::TempDir() + "sweep_stats.json";
+    std::string without_path =
+        ::testing::TempDir() + "sweep_nostats.json";
+    sweep.writeJson(with_path, "sweep_test");
+    ASSERT_EQ(setenv("SILO_STATS_JSON", "0", 1), 0);
+    sweep.writeJson(without_path, "sweep_test");
+    unsetenv("SILO_STATS_JSON");
+
+    std::string with = slurp(with_path);
+    std::string without = slurp(without_path);
+    ASSERT_FALSE(with.empty());
+    ASSERT_FALSE(without.empty());
+    EXPECT_NE(with.find("\"stats\": {"), std::string::npos);
+    EXPECT_EQ(without.find("\"stats\": {"), std::string::npos)
+        << "SILO_STATS_JSON=0 must omit the per-cell stats blocks";
+    EXPECT_LT(without.size(), with.size());
+}
+
+TEST(TracePath, InsertsCellCoordinatesBeforeExtension)
+{
+    CellSpec spec;
+    spec.sim.scheme = SchemeKind::Silo;
+    spec.sim.numCores = 4;
+    spec.trace.kind = workload::WorkloadKind::Hash;
+    EXPECT_EQ(tracePathFor("/tmp/t/trace.json", spec),
+              "/tmp/t/trace-Silo-Hash-4c.json");
+    EXPECT_EQ(tracePathFor("trace", spec), "trace-Silo-Hash-4c.json");
 }
 
 TEST(SweepTraceCache, RerunGeneratesNothingNew)

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 
 namespace silo::stats
@@ -75,6 +76,59 @@ TEST(Distribution, ZeroWidthIsClampedToOne)
     EXPECT_EQ(d.buckets()[1], 1u);
 }
 
+TEST(Distribution, PercentileBucketEdges)
+{
+    // Buckets [0,9] [10,19] [20,29] [30,39], overflow >= 40.
+    Distribution d("lat", "", 10, 4);
+    for (std::uint64_t v : {5, 7, 15, 25, 100})
+        d.sample(v);
+    // rank(0.2 * 5) = 1 lands in bucket 0: upper edge 9.
+    EXPECT_EQ(d.percentile(0.2), 9u);
+    // rank(0.5 * 5) = 3 lands in bucket 1: upper edge 19.
+    EXPECT_EQ(d.p50(), 19u);
+    // rank(0.99 * 5) = 5 lands in the overflow bucket: the observed
+    // maximum is the tightest bound the histogram still knows.
+    EXPECT_EQ(d.p99(), 100u);
+}
+
+TEST(Distribution, PercentileClampsToObservedMax)
+{
+    // All samples sit well inside bucket 0; the bucket's upper edge
+    // (9) would overestimate, so the observed max wins.
+    Distribution d("lat", "", 10, 4);
+    d.sample(4);
+    d.sample(4);
+    EXPECT_EQ(d.p50(), 4u);
+    EXPECT_EQ(d.p99(), 4u);
+}
+
+TEST(Distribution, PercentileEmptyIsZero)
+{
+    Distribution d("lat", "", 10, 4);
+    EXPECT_EQ(d.p50(), 0u);
+    EXPECT_EQ(d.p99(), 0u);
+}
+
+TEST(Distribution, PercentileFracAboveOneIsClamped)
+{
+    Distribution d("lat", "", 10, 4);
+    d.sample(12);
+    EXPECT_EQ(d.percentile(2.0), 12u);
+}
+
+TEST(Distribution, CountsConsistentInvariant)
+{
+    Distribution d("sz", "", 10, 2);
+    EXPECT_TRUE(d.countsConsistent());
+    d.sample(5);
+    d.sample(15);
+    d.sample(999);  // overflow
+    EXPECT_TRUE(d.countsConsistent());
+    EXPECT_EQ(d.summary().count(), 3u);
+    d.reset();
+    EXPECT_TRUE(d.countsConsistent());
+}
+
 TEST(StatGroup, PrintsRegisteredStats)
 {
     Scalar s("hits", "cache hits");
@@ -92,6 +146,77 @@ TEST(StatGroup, PrintsRegisteredStats)
     EXPECT_NE(text.find("7"), std::string::npos);
     EXPECT_NE(text.find("l1d.lat.mean"), std::string::npos);
     EXPECT_NE(text.find("cache hits"), std::string::npos);
+}
+
+TEST(StatGroup, PrintJsonEmitsAllStatKinds)
+{
+    Scalar s("hits", "");
+    Average a("lat", "");
+    Distribution d("sz", "", 10, 2);
+    StatGroup g("l1d");
+    g.addScalar(s);
+    g.addAverage(a);
+    g.addDistribution(d);
+    s += 7;
+    a.sample(4);
+    d.sample(5);
+    d.sample(25);  // overflow
+
+    std::ostringstream os;
+    g.printJson(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"hits\": 7"), std::string::npos);
+    EXPECT_NE(text.find("\"lat\": {\"mean\": 4"), std::string::npos);
+    // p50 rank 1 lands in bucket [0,9]: the bucket's upper edge.
+    EXPECT_NE(text.find("\"p50\": 9"), std::string::npos);
+    EXPECT_NE(text.find("\"buckets\": [1, 0]"), std::string::npos);
+    EXPECT_NE(text.find("\"overflow\": 1"), std::string::npos);
+}
+
+TEST(StatRegistry, NestsSlashPaths)
+{
+    Scalar s0("x", ""), s1("x", "");
+    StatGroup mc0("mc0"), mc1("mc1");
+    mc0.addScalar(s0);
+    mc1.addScalar(s1);
+    s0 += 1;
+    s1 += 2;
+
+    StatRegistry reg;
+    reg.add("mc/1", mc1);
+    reg.add("mc/0", mc0);
+    EXPECT_EQ(reg.size(), 2u);
+    const std::string text = reg.toJson();
+    EXPECT_NE(text.find("\"schema\": \"silo-stats-v1\""),
+              std::string::npos);
+    // Sorted by path regardless of registration order.
+    EXPECT_NE(
+        text.find("\"mc\": {\"0\": {\"x\": 1}, \"1\": {\"x\": 2}}"),
+        std::string::npos);
+}
+
+TEST(StatRegistry, LeafThatIsAlsoPrefixKeepsStatsKey)
+{
+    Scalar s0("x", ""), s1("x", "");
+    StatGroup parent("mc"), child("mc0");
+    parent.addScalar(s0);
+    child.addScalar(s1);
+
+    StatRegistry reg;
+    reg.add("mc", parent);
+    reg.add("mc/0", child);
+    const std::string text = reg.toJson();
+    EXPECT_NE(
+        text.find("\"mc\": {\"stats\": {\"x\": 0}, \"0\": {\"x\": 0}}"),
+        std::string::npos);
+}
+
+TEST(StatRegistry, DuplicatePathPanics)
+{
+    StatGroup g("g");
+    StatRegistry reg;
+    reg.add("a/b", g);
+    EXPECT_THROW(reg.add("a/b", g), PanicError);
 }
 
 TEST(StatGroup, ResetResetsAll)

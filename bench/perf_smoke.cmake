@@ -1,0 +1,86 @@
+# ctest script: run bench/selfperf with a pruned matrix and validate
+# the silo-selfperf-v1 JSON it emits — schema, structure, positive
+# throughput numbers — plus a deliberately generous wall-clock ceiling
+# per section. The ceiling only catches order-of-magnitude regressions
+# (an accidental O(n^2) hot path); it is far above normal run-to-run
+# noise so the test never flakes on a loaded machine. Invoked by the
+# perf_smoke test with -DBENCH_BINARY and -DJSON_PATH.
+
+file(REMOVE "${JSON_PATH}")
+
+# Pruned matrix: 1 core count x 7 workloads x 5 schemes at 40 tx.
+set(ENV{SILO_SELFPERF_TX} 40)
+set(ENV{SILO_SELFPERF_MAX_CORES} 1)
+set(ENV{SILO_JOBS} 1)
+set(ENV{SILO_JSON} "${JSON_PATH}")
+
+execute_process(COMMAND "${BENCH_BINARY}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "perf_smoke: ${BENCH_BINARY} exited with ${rc}\n${out}\n${err}")
+endif()
+
+if(NOT EXISTS "${JSON_PATH}")
+    message(FATAL_ERROR
+        "perf_smoke: JSON file ${JSON_PATH} was not written")
+endif()
+
+# string(JSON) raises a fatal error itself if the file is not valid
+# JSON or a queried member is missing.
+file(READ "${JSON_PATH}" json)
+string(JSON schema GET "${json}" schema)
+if(NOT schema STREQUAL "silo-selfperf-v1")
+    message(FATAL_ERROR "perf_smoke: unexpected schema \"${schema}\"")
+endif()
+
+string(JSON cells GET "${json}" matrix cells)
+if(NOT cells EQUAL 35)
+    message(FATAL_ERROR
+        "perf_smoke: expected 35 matrix cells, got ${cells}")
+endif()
+string(JSON matrix_wall GET "${json}" matrix wall_seconds)
+string(JSON cells_per_s GET "${json}" matrix cells_per_second)
+if(cells_per_s LESS_EQUAL 0)
+    message(FATAL_ERROR
+        "perf_smoke: non-positive cells/s (${cells_per_s})")
+endif()
+
+# Per-component microbenchmarks: ops recorded, positive rates.
+foreach(pair
+        "event_queue;events_per_second"
+        "word_store;words_per_second"
+        "cache_probe;probes_per_second")
+    list(GET pair 0 section)
+    list(GET pair 1 rate_key)
+    string(JSON ops GET "${json}" micro ${section} ops)
+    string(JSON rate GET "${json}" micro ${section} ${rate_key})
+    string(JSON wall GET "${json}" micro ${section} wall_seconds)
+    if(ops LESS 1 OR rate LESS_EQUAL 0)
+        message(FATAL_ERROR "perf_smoke: micro.${section} reports "
+            "ops=${ops} ${rate_key}=${rate}")
+    endif()
+    # Generous ceiling: each micro section times a few seconds of
+    # work on the build host; 120 s means ~30x slower than today.
+    if(wall GREATER 120)
+        message(FATAL_ERROR "perf_smoke: micro.${section} took "
+            "${wall} s (ceiling 120 s) — hot-path regression?")
+    endif()
+endforeach()
+
+# The pruned 35-cell matrix runs in well under a second today; 60 s
+# is an order-of-magnitude guard, not a tight threshold.
+if(matrix_wall GREATER 60)
+    message(FATAL_ERROR "perf_smoke: pruned matrix took "
+        "${matrix_wall} s (ceiling 60 s) — hot-path regression?")
+endif()
+
+string(JSON rss GET "${json}" peak_rss_kib)
+if(rss LESS 1)
+    message(FATAL_ERROR "perf_smoke: peak_rss_kib=${rss}")
+endif()
+
+message(STATUS "perf_smoke: ${cells} cells in ${matrix_wall} s "
+    "(${cells_per_s} cells/s), micro sections OK (${JSON_PATH})")

@@ -63,12 +63,11 @@ main()
                 sys.scheme().schemeStats().crashFlushBytes.value();
             row.liveRecords = sys.logRegion().liveRecordCount();
 
-            auto before = sys.pm().media().words();
+            WordStore before = sys.pm().media();
             sys.recover();
-            for (const auto &[addr, value] :
-                 sys.pm().media().words()) {
-                auto it = before.find(addr);
-                if (it == before.end() || it->second != value)
+            for (const auto &[addr, value] : sys.pm().media()) {
+                if (!before.contains(addr) ||
+                    before.load(addr) != value)
                     ++row.wordsRewritten;
             }
             // Model: one 64B-line read per live record + one media

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Simulator self-performance benchmark: wall-clock cost of the
+ * simulator itself (not simulated time). Times a fixed Fig. 12 matrix
+ * through the sweep engine plus three per-component microbenchmarks
+ * covering the hot paths rebuilt in this PR — event schedule/pop
+ * (calendar queue), word load/store (flat page-directory WordStore)
+ * and cache probes (struct-of-arrays Cache) — and emits
+ * BENCH_PR4.json ("silo-selfperf-v1": wall seconds, events/sec,
+ * cells/sec, peak RSS) so perf trajectories are comparable across
+ * commits.
+ *
+ * The matrix is pinned (tx=120, seed=42, 1/2/4/8 cores) rather than
+ * reading the usual SILO_TX knob, so numbers from different checkouts
+ * time the same work. SILO_SELFPERF_TX / SILO_SELFPERF_MAX_CORES
+ * shrink it for the perf_smoke ctest; SILO_JOBS (default 1 here, for
+ * stable timing) selects sweep workers.
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "matrix_common.hh"
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/word_store.hh"
+#include "workload/trace_gen.hh"
+
+namespace
+{
+
+using namespace silo;
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Peak resident set size in KiB (ru_maxrss is KiB on Linux). */
+std::uint64_t
+peakRssKib()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return std::uint64_t(ru.ru_maxrss);
+}
+
+struct MicroResult
+{
+    std::uint64_t ops = 0;
+    double wallSeconds = 0;
+    double opsPerSecond() const
+    {
+        return wallSeconds > 0 ? double(ops) / wallSeconds : 0;
+    }
+};
+
+/**
+ * Calendar-queue schedule/pop throughput with the bench-matrix delay
+ * mix: same-cycle bursts, short device/core latencies, wheel-spanning
+ * delays and far-future overflow residents.
+ */
+MicroResult
+benchEventQueue(std::uint64_t target_events)
+{
+    EventQueue q;
+    std::mt19937_64 rng(42);
+    std::uint64_t scheduled = 0;
+    volatile std::uint64_t sink = 0;
+
+    auto scheduleOne = [&] {
+        Tick delay;
+        switch (rng() % 64) {
+          case 0: case 1: case 2: case 3: case 4: case 5:
+          case 6: case 7: case 8: case 9: case 10: case 11:
+            delay = 0;
+            break;
+          case 12: case 13: case 14: case 15: case 16: case 17:
+          case 18: case 19: case 20: case 21: case 22: case 23:
+          case 24: case 25: case 26: case 27: case 28: case 29:
+          case 30: case 31: case 32: case 33: case 34: case 35:
+            delay = rng() % 64;
+            break;
+          case 62:
+            // Rare far-future resident (refresh-style), landing on
+            // the overflow list until the cursor catches up.
+            delay = (Tick(1) << 14) + rng() % (Tick(1) << 16);
+            break;
+          default:
+            delay = rng() % (Tick(1) << 13);
+            break;
+        }
+        int prio = int(rng() % 3) * 10 - 10;
+        q.schedule(q.now() + delay, [&sink] { sink = sink + 1; },
+                   prio);
+        ++scheduled;
+    };
+
+    double t0 = nowSeconds();
+    // Steady state: ~8K events in flight, like a busy 8-core system
+    // tick, then one pop per schedule.
+    for (int i = 0; i < 8192; ++i)
+        scheduleOne();
+    while (scheduled < target_events) {
+        scheduleOne();
+        q.runNext();
+    }
+    q.run();
+    double wall = nowSeconds() - t0;
+    // Each event is one schedule and one pop.
+    return {q.executedEvents() * 2, wall};
+}
+
+/** WordStore load/store throughput over a hot-page working set. */
+MicroResult
+benchWordStore(std::uint64_t target_ops)
+{
+    WordStore store;
+    std::mt19937_64 rng(42);
+    constexpr Addr pageBytes = 4096;
+    std::vector<Addr> bases;
+    for (int i = 0; i < 512; ++i)
+        bases.push_back((rng() % (Addr(1) << 34)) * pageBytes);
+
+    volatile Word sink = 0;
+    double t0 = nowSeconds();
+    for (std::uint64_t op = 0; op < target_ops; ++op) {
+        Addr base = bases[rng() % bases.size()];
+        Addr addr =
+            base + (rng() % (pageBytes / wordBytes)) * wordBytes;
+        if (rng() % 2)
+            store.store(addr, Word(op));
+        else
+            sink = sink + store.load(addr);
+    }
+    double wall = nowSeconds() - t0;
+    return {target_ops, wall};
+}
+
+/** Cache probe (access/insert/evict) throughput, L1-sized geometry. */
+MicroResult
+benchCacheProbe(std::uint64_t target_ops)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 32 * 1024;
+    cfg.ways = 8;
+    cfg.latency = Cycles(4);
+    mem::Cache cache("selfperf_l1", cfg);
+
+    std::mt19937_64 rng(42);
+    // 4x the cache's line capacity: a healthy miss/evict mix.
+    std::uint64_t lines = cfg.sizeBytes / lineBytes * 4;
+
+    double t0 = nowSeconds();
+    for (std::uint64_t op = 0; op < target_ops; ++op) {
+        Addr line = (rng() % lines) * lineBytes;
+        bool dirty = (rng() & 1) != 0;
+        if (!cache.access(line, dirty))
+            cache.insert(line, dirty);
+    }
+    double wall = nowSeconds() - t0;
+    return {target_ops, wall};
+}
+
+void
+appendMicroJson(std::string &json, const char *name,
+                const char *rate_key, const MicroResult &r,
+                bool last = false)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    \"%s\": {\"ops\": %llu, "
+                  "\"wall_seconds\": %.3f, \"%s\": %.0f}%s\n",
+                  name, static_cast<unsigned long long>(r.ops),
+                  r.wallSeconds, rate_key, r.opsPerSecond(),
+                  last ? "" : ",");
+    json += buf;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace silo;
+
+    std::uint64_t tx = harness::envOr("SILO_SELFPERF_TX", 120);
+    unsigned max_cores =
+        unsigned(harness::envOr("SILO_SELFPERF_MAX_CORES", 8));
+    unsigned jobs = unsigned(harness::envOr("SILO_JOBS", 1));
+
+    std::vector<unsigned> core_counts;
+    for (unsigned c = 1; c <= max_cores; c *= 2)
+        core_counts.push_back(c);
+
+    // --- Fixed Fig. 12 matrix through the sweep engine ---
+    harness::Sweep sweep({.jobs = jobs, .progress = true});
+    for (unsigned cores : core_counts) {
+        for (auto wl : workload::evaluationWorkloads) {
+            workload::TraceGenConfig tg;
+            tg.kind = wl;
+            tg.numThreads = cores;
+            tg.transactionsPerThread = tx;
+            tg.seed = 42;
+            for (auto scheme : bench::evaluatedSchemes) {
+                harness::CellSpec spec;
+                spec.sim.numCores = cores;
+                spec.sim.scheme = scheme;
+                spec.trace = tg;
+                spec.label =
+                    std::string(workload::workloadName(wl)) + "/" +
+                    schemeName(scheme) + "/" +
+                    std::to_string(cores) + "c";
+                sweep.add(std::move(spec));
+            }
+        }
+    }
+
+    double matrix_t0 = nowSeconds();
+    sweep.run();
+    double matrix_wall = nowSeconds() - matrix_t0;
+    double cells_per_second =
+        matrix_wall > 0 ? double(sweep.size()) / matrix_wall : 0;
+
+    // --- Per-component microbenchmarks ---
+    MicroResult eq = benchEventQueue(4'000'000);
+    MicroResult ws = benchWordStore(20'000'000);
+    MicroResult cp = benchCacheProbe(20'000'000);
+    std::uint64_t rss_kib = peakRssKib();
+
+    // --- Report ---
+    std::cout << "selfperf: matrix " << sweep.size() << " cells in "
+              << matrix_wall << " s (" << cells_per_second
+              << " cells/s, jobs=" << jobs << ", tx=" << tx << ")\n"
+              << "selfperf: event queue  "
+              << std::uint64_t(eq.opsPerSecond()) << " events/s\n"
+              << "selfperf: word store   "
+              << std::uint64_t(ws.opsPerSecond()) << " words/s\n"
+              << "selfperf: cache probe  "
+              << std::uint64_t(cp.opsPerSecond()) << " probes/s\n"
+              << "selfperf: peak RSS     " << rss_kib << " KiB\n";
+
+    const char *env_path = std::getenv("SILO_JSON");
+    std::string path = env_path ? env_path : "BENCH_PR4.json";
+
+    std::string json;
+    json += "{\n";
+    json += "  \"schema\": \"silo-selfperf-v1\",\n";
+    json += "  \"benchmark\": \"selfperf\",\n";
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "  \"matrix\": {\"cells\": %zu, "
+                  "\"tx_per_thread\": %llu, \"seed\": 42, "
+                  "\"max_cores\": %u, \"jobs\": %u, "
+                  "\"wall_seconds\": %.3f, "
+                  "\"cells_per_second\": %.3f},\n",
+                  sweep.size(), static_cast<unsigned long long>(tx),
+                  max_cores, jobs, matrix_wall, cells_per_second);
+    json += buf;
+    json += "  \"micro\": {\n";
+    appendMicroJson(json, "event_queue", "events_per_second", eq);
+    appendMicroJson(json, "word_store", "words_per_second", ws);
+    appendMicroJson(json, "cache_probe", "probes_per_second", cp,
+                    true);
+    json += "  },\n";
+    std::snprintf(buf, sizeof buf, "  \"peak_rss_kib\": %llu\n",
+                  static_cast<unsigned long long>(rss_kib));
+    json += buf;
+    json += "}\n";
+
+    std::filesystem::path out(path);
+    if (out.has_parent_path())
+        std::filesystem::create_directories(out.parent_path());
+    std::ofstream file(out);
+    file << json;
+    if (!file) {
+        std::cerr << "selfperf: cannot write " << path << "\n";
+        return 1;
+    }
+    std::cout << "selfperf: wrote " << path << "\n";
+    return 0;
+}

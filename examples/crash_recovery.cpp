@@ -60,7 +60,7 @@ main(int argc, char **argv)
     sys.recover();
 
     // Oracle: initial image plus the stores of committed transactions.
-    std::unordered_map<Addr, Word> expected = traces.initialMemory;
+    WordStore expected = traces.initialMemory;
     for (unsigned t = 0; t < sys.numCores(); ++t) {
         std::size_t upto = sys.coreAt(t).committedOpIndex();
         for (std::size_t i = 0; i < upto; ++i) {

@@ -47,7 +47,7 @@ tracesFor(unsigned read_pct, unsigned cores, std::uint64_t tx)
             mem, out.threads[t]));
         workloads[t]->setup(*recs[t], heaps[t], rngs[t]);
     }
-    out.initialMemory = mem.words();
+    out.initialMemory = mem;
     for (unsigned t = 0; t < cores; ++t) {
         recs[t]->setRecording(true);
         for (std::uint64_t i = 0; i < tx; ++i) {
@@ -57,7 +57,7 @@ tracesFor(unsigned read_pct, unsigned cores, std::uint64_t tx)
         }
         recs[t]->setRecording(false);
     }
-    out.finalMemory = mem.words();
+    out.finalMemory = mem;
     return out;
 }
 

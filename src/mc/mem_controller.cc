@@ -1,6 +1,7 @@
 #include "mc/mem_controller.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace silo::mc
 {
@@ -44,8 +45,12 @@ MemController::enqueue(WpqEntry &&entry)
     for (auto &e : _wpq) {
         if (e.key == entry.key && e.held == entry.held &&
             e.logRegion == entry.logRegion) {
-            for (const auto &[idx, value] : entry.words)
-                e.words[idx] = value;
+            std::uint32_t bits = entry.wordMask;
+            while (bits) {
+                unsigned idx = unsigned(std::countr_zero(bits));
+                bits &= bits - 1;
+                e.set(idx, entry.values[idx]);
+            }
             e.bytes = std::min<unsigned>(lineBytes,
                                          e.bytes + entry.bytes);
             ++_coalesced;
@@ -86,7 +91,7 @@ MemController::tryWriteLine(Addr line_addr,
     entry.held = held;
     unsigned base = unsigned((entry.key - entry.pmLine) / wordBytes);
     for (unsigned w = 0; w < wordsPerLine; ++w)
-        entry.words[base + w] = values[w];
+        entry.set(base + w, values[w]);
 
     if (!enqueue(std::move(entry)))
         return false;
@@ -105,8 +110,9 @@ MemController::tryWriteWord(Addr word_addr, Word value)
     entry.key = lineAlign(word_addr);
     entry.pmLine = pmLineAlign(word_addr);
     entry.bytes = wordBytes;
-    entry.words[unsigned((wordAlign(word_addr) - entry.pmLine) /
-                         wordBytes)] = value;
+    entry.set(unsigned((wordAlign(word_addr) - entry.pmLine) /
+                       wordBytes),
+              value);
     if (!enqueue(std::move(entry)))
         return false;
     if (_check)
@@ -126,7 +132,7 @@ MemController::tryWriteLog(Addr rec_addr, const log::LogRecord &record)
     Addr first = wordAlign(rec_addr);
     Addr last = wordAlign(rec_addr + record.sizeBytes() - 1);
     for (Addr a = first; a <= last; a += wordBytes)
-        entry.words[unsigned((a - entry.pmLine) / wordBytes)] = 0;
+        entry.set(unsigned((a - entry.pmLine) / wordBytes), 0);
 
     if (!enqueue(std::move(entry)))
         return false;
@@ -190,9 +196,13 @@ MemController::drainOne()
         return;
 
     std::vector<nvm::WordWrite> words;
-    words.reserve(it->words.size());
-    for (const auto &[idx, value] : it->words)
-        words.push_back({idx, value});
+    words.reserve(std::size_t(std::popcount(it->wordMask)));
+    std::uint32_t bits = it->wordMask;
+    while (bits) {
+        unsigned idx = unsigned(std::countr_zero(bits));
+        bits &= bits - 1;
+        words.push_back({idx, it->values[idx]});
+    }
 
     if (!_pm.tryWrite(it->pmLine, words, it->logRegion)) {
         // Device buffer is saturated; resume when a slot frees.
@@ -233,8 +243,12 @@ void
 MemController::applyEntry(const WpqEntry &entry)
 {
     std::vector<nvm::WordWrite> words;
-    for (const auto &[idx, value] : entry.words)
-        words.push_back({idx, value});
+    std::uint32_t bits = entry.wordMask;
+    while (bits) {
+        unsigned idx = unsigned(std::countr_zero(bits));
+        bits &= bits - 1;
+        words.push_back({idx, entry.values[idx]});
+    }
     // Push through the device buffer so DCW accounting stays uniform,
     // then let the caller drain the buffer.
     while (!_pm.tryWrite(entry.pmLine, words, entry.logRegion))

@@ -21,7 +21,6 @@
 #include <array>
 #include <deque>
 #include <functional>
-#include <map>
 
 #include "check/event_sink.hh"
 #include "log/log_region.hh"
@@ -137,9 +136,23 @@ class MemController
         Addr pmLine;       //!< 256 B on-PM buffer line
         bool logRegion = false;
         bool held = false;
-        /** Dirty words: index within the 256 B pm line -> value. */
-        std::map<unsigned, Word> words;
+        /**
+         * Dirty words, indexed within the 256 B pm line: bit i of
+         * wordMask gates values[i]. Flat storage (the index space is
+         * only 32 words) replaced a per-entry std::map whose node
+         * churn showed up in whole-simulation profiles; drain paths
+         * iterate the mask ascending, matching the map's order.
+         */
+        std::uint32_t wordMask = 0;
+        std::array<Word, pmBufferLineBytes / wordBytes> values;
         unsigned bytes = 0;
+
+        void
+        set(unsigned idx, Word value)
+        {
+            wordMask |= std::uint32_t(1) << idx;
+            values[idx] = value;
+        }
     };
 
     /** Core accept path shared by the tryWrite* entry points. */

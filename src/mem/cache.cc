@@ -1,5 +1,8 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace silo::mem
@@ -11,8 +14,16 @@ Cache::Cache(const std::string &name, const CacheConfig &cfg)
     std::uint64_t lines = cfg.sizeBytes / lineBytes;
     if (cfg.ways == 0 || lines % cfg.ways != 0)
         fatal("cache geometry: lines must divide evenly into ways");
+    if (cfg.ways > 64)
+        fatal("cache geometry: at most 64 ways (per-set bitmasks)");
     _numSets = unsigned(lines / cfg.ways);
-    _ways.resize(lines);
+    _waysMask = cfg.ways == 64 ? ~std::uint64_t(0)
+                               : (std::uint64_t(1) << cfg.ways) - 1;
+    _tags.resize(lines);
+    _lastUse.resize(lines);
+    _valid.resize(_numSets);
+    _dirty.resize(_numSets);
+    _dirtySummary.resize((_numSets + 63) / 64);
 
     _stats.addScalar(_hits);
     _stats.addScalar(_misses);
@@ -20,30 +31,30 @@ Cache::Cache(const std::string &name, const CacheConfig &cfg)
     _stats.addScalar(_dirtyEvictions);
 }
 
-Cache::Way *
-Cache::findWay(Addr line_addr)
+int
+Cache::findWay(unsigned set, Addr line_addr) const
 {
-    unsigned set = setOf(line_addr);
-    for (unsigned w = 0; w < _cfg.ways; ++w) {
-        Way &way = _ways[std::size_t(set) * _cfg.ways + w];
-        if (way.valid && way.tag == line_addr)
-            return &way;
+    const Addr *tags = &_tags[std::size_t(set) * _cfg.ways];
+    std::uint64_t live = _valid[set];
+    while (live) {
+        unsigned w = unsigned(std::countr_zero(live));
+        live &= live - 1;
+        if (tags[w] == line_addr)
+            return int(w);
     }
-    return nullptr;
-}
-
-const Cache::Way *
-Cache::findWay(Addr line_addr) const
-{
-    return const_cast<Cache *>(this)->findWay(line_addr);
+    return -1;
 }
 
 bool
 Cache::access(Addr line_addr, bool set_dirty)
 {
-    if (Way *way = findWay(line_addr)) {
-        way->lastUse = ++_useClock;
-        way->dirty |= set_dirty;
+    unsigned set = setOf(line_addr);
+    int w = findWay(set, line_addr);
+    if (w >= 0) {
+        _lastUse[std::size_t(set) * _cfg.ways + unsigned(w)] =
+            ++_useClock;
+        if (set_dirty)
+            setDirty(set, unsigned(w));
         ++_hits;
         return true;
     }
@@ -54,74 +65,96 @@ Cache::access(Addr line_addr, bool set_dirty)
 bool
 Cache::contains(Addr line_addr) const
 {
-    return findWay(line_addr) != nullptr;
+    return findWay(setOf(line_addr), line_addr) >= 0;
 }
 
 bool
 Cache::isDirty(Addr line_addr) const
 {
-    const Way *way = findWay(line_addr);
-    return way && way->dirty;
+    unsigned set = setOf(line_addr);
+    int w = findWay(set, line_addr);
+    return w >= 0 && ((_dirty[set] >> unsigned(w)) & 1);
 }
 
 std::optional<Victim>
 Cache::insert(Addr line_addr, bool dirty)
 {
-    if (findWay(line_addr))
+    unsigned set = setOf(line_addr);
+    if (findWay(set, line_addr) >= 0)
         panic("inserting a line that is already present");
 
-    unsigned set = setOf(line_addr);
-    Way *target = nullptr;
-    for (unsigned w = 0; w < _cfg.ways; ++w) {
-        Way &way = _ways[std::size_t(set) * _cfg.ways + w];
-        if (!way.valid) {
-            target = &way;
-            break;
-        }
-        if (!target || way.lastUse < target->lastUse)
-            target = &way;
-    }
-
+    std::size_t base = std::size_t(set) * _cfg.ways;
+    std::uint64_t free = ~_valid[set] & _waysMask;
+    unsigned target;
     std::optional<Victim> victim;
-    if (target->valid) {
-        victim = Victim{target->tag, target->dirty};
+    if (free) {
+        // Lowest free way: matches the original first-invalid scan.
+        target = unsigned(std::countr_zero(free));
+    } else {
+        // LRU over a full set; strict < keeps the lowest way on ties.
+        target = 0;
+        for (unsigned w = 1; w < _cfg.ways; ++w) {
+            if (_lastUse[base + w] < _lastUse[base + target])
+                target = w;
+        }
+        victim = Victim{_tags[base + target],
+                        ((_dirty[set] >> target) & 1) != 0};
         ++_evictions;
-        if (target->dirty)
+        if (victim->dirty)
             ++_dirtyEvictions;
     }
-    target->tag = line_addr;
-    target->valid = true;
-    target->dirty = dirty;
-    target->lastUse = ++_useClock;
+
+    _tags[base + target] = line_addr;
+    _lastUse[base + target] = ++_useClock;
+    _valid[set] |= std::uint64_t(1) << target;
+    if (dirty)
+        setDirty(set, target);
+    else
+        clearDirty(set, target);
     return victim;
 }
 
 std::optional<Victim>
 Cache::extract(Addr line_addr)
 {
-    if (Way *way = findWay(line_addr)) {
-        Victim v{way->tag, way->dirty};
-        way->valid = false;
-        way->dirty = false;
-        return v;
-    }
-    return std::nullopt;
+    unsigned set = setOf(line_addr);
+    int w = findWay(set, line_addr);
+    if (w < 0)
+        return std::nullopt;
+    Victim v{line_addr, ((_dirty[set] >> unsigned(w)) & 1) != 0};
+    _valid[set] &= ~(std::uint64_t(1) << unsigned(w));
+    clearDirty(set, unsigned(w));
+    return v;
 }
 
 void
 Cache::clean(Addr line_addr)
 {
-    if (Way *way = findWay(line_addr))
-        way->dirty = false;
+    unsigned set = setOf(line_addr);
+    int w = findWay(set, line_addr);
+    if (w >= 0)
+        clearDirty(set, unsigned(w));
 }
 
 std::vector<Addr>
 Cache::dirtyLines() const
 {
+    // Set-major, way-ascending: the documented enumeration order.
     std::vector<Addr> out;
-    for (const Way &way : _ways) {
-        if (way.valid && way.dirty)
-            out.push_back(way.tag);
+    for (std::size_t sw = 0; sw < _dirtySummary.size(); ++sw) {
+        std::uint64_t sets = _dirtySummary[sw];
+        while (sets) {
+            auto set = unsigned(sw * 64) +
+                       unsigned(std::countr_zero(sets));
+            sets &= sets - 1;
+            const Addr *tags = &_tags[std::size_t(set) * _cfg.ways];
+            std::uint64_t bits = _dirty[set];
+            while (bits) {
+                unsigned w = unsigned(std::countr_zero(bits));
+                bits &= bits - 1;
+                out.push_back(tags[w]);
+            }
+        }
     }
     return out;
 }
@@ -129,8 +162,10 @@ Cache::dirtyLines() const
 void
 Cache::invalidateAll()
 {
-    for (Way &way : _ways)
-        way = Way{};
+    // Stale tags/lastUse are never read once their valid bit is gone.
+    std::fill(_valid.begin(), _valid.end(), 0);
+    std::fill(_dirty.begin(), _dirty.end(), 0);
+    std::fill(_dirtySummary.begin(), _dirtySummary.end(), 0);
 }
 
 } // namespace silo::mem

@@ -6,6 +6,16 @@
  * live in the replay engine's architectural value store (threads never
  * share lines, so the line's content at eviction time always equals
  * the owning thread's current values — see core/replay_core.hh).
+ *
+ * State is struct-of-arrays with per-set valid/dirty bitmasks (one bit
+ * per way), so a lookup only compares tags of valid ways, the LRU
+ * victim search finds free ways with a bit scan, and dirtyLines() —
+ * the FWB walker's and the crash path's full-cache sweep — skips clean
+ * sets entirely via a set-level dirty summary bitmap instead of
+ * touching every way of (say) a 4 MB L3. The enumeration order of
+ * dirtyLines() is part of the determinism contract: set-major,
+ * way-ascending, exactly as the original array-of-structs scan
+ * produced (the FWB walk order feeds the event stream).
  */
 
 #ifndef SILO_MEM_CACHE_HH
@@ -83,25 +93,40 @@ class Cache
     const stats::StatGroup &statGroup() const { return _stats; }
 
   private:
-    struct Way
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
-
     unsigned setOf(Addr line_addr) const
     {
         return unsigned((line_addr / lineBytes) % _numSets);
     }
 
-    Way *findWay(Addr line_addr);
-    const Way *findWay(Addr line_addr) const;
+    /** Way index of @p line_addr within its set, or -1. */
+    int findWay(unsigned set, Addr line_addr) const;
+
+    void
+    setDirty(unsigned set, unsigned way)
+    {
+        _dirty[set] |= std::uint64_t(1) << way;
+        _dirtySummary[set >> 6] |= std::uint64_t(1) << (set & 63);
+    }
+
+    void
+    clearDirty(unsigned set, unsigned way)
+    {
+        _dirty[set] &= ~(std::uint64_t(1) << way);
+        if (_dirty[set] == 0) {
+            _dirtySummary[set >> 6] &=
+                ~(std::uint64_t(1) << (set & 63));
+        }
+    }
 
     CacheConfig _cfg;
     unsigned _numSets;
-    std::vector<Way> _ways;   //!< numSets x associativity
+    std::uint64_t _waysMask;               //!< low _cfg.ways bits set
+    std::vector<Addr> _tags;               //!< numSets x associativity
+    std::vector<std::uint64_t> _lastUse;   //!< numSets x associativity
+    std::vector<std::uint64_t> _valid;     //!< per-set way bitmask
+    std::vector<std::uint64_t> _dirty;     //!< per-set way bitmask
+    /** Bit per set: the set has at least one dirty way. */
+    std::vector<std::uint64_t> _dirtySummary;
     std::uint64_t _useClock = 0;
 
     stats::StatGroup _stats;

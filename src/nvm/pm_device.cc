@@ -1,6 +1,7 @@
 #include "nvm/pm_device.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace silo::nvm
 {
@@ -64,12 +65,21 @@ unsigned
 PmDevice::applyToMedia(const BufferLine &line)
 {
     if (_check) {
-        std::vector<std::pair<unsigned, Word>> words(line.words.begin(),
-                                                     line.words.end());
+        std::vector<std::pair<unsigned, Word>> words;
+        std::uint32_t check_bits = line.wordMask;
+        while (check_bits) {
+            unsigned idx = unsigned(std::countr_zero(check_bits));
+            check_bits &= check_bits - 1;
+            words.emplace_back(idx, line.values[idx]);
+        }
         _check->onMediaWrite(line.base, words, line.logRegion);
     }
     unsigned changed = 0;
-    for (const auto &[idx, value] : line.words) {
+    std::uint32_t bits = line.wordMask;
+    while (bits) {
+        unsigned idx = unsigned(std::countr_zero(bits));
+        bits &= bits - 1;
+        Word value = line.values[idx];
         Addr word_addr = line.base + Addr(idx) * wordBytes;
         if (line.logRegion) {
             // Log appends are fresh content; every dirty word writes.
@@ -132,7 +142,7 @@ PmDevice::tryWrite(Addr pm_line, const std::vector<WordWrite> &words,
     if (idx >= 0) {
         BufferLine &line = _lines[idx];
         for (const auto &w : words)
-            line.words[w.wordIdx] = w.value;
+            line.set(w.wordIdx, w.value);
         line.lastUse = _eq.now();
         ++_coalesced;
         return true;
@@ -169,9 +179,9 @@ PmDevice::tryWrite(Addr pm_line, const std::vector<WordWrite> &words,
     line.base = pm_line;
     line.logRegion = log_region;
     line.lastUse = _eq.now();
-    line.words.clear();
+    line.wordMask = 0;
     for (const auto &w : words)
-        line.words[w.wordIdx] = w.value;
+        line.set(w.wordIdx, w.value);
     line.evicting = false;
     return true;
 }
@@ -188,7 +198,7 @@ PmDevice::notifyOneWaiter()
     if (_slotWaiters.empty())
         return;
     auto cb = std::move(_slotWaiters.front());
-    _slotWaiters.erase(_slotWaiters.begin());
+    _slotWaiters.pop_front();
     cb();
 }
 

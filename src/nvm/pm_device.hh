@@ -16,8 +16,9 @@
 #ifndef SILO_NVM_PM_DEVICE_HH
 #define SILO_NVM_PM_DEVICE_HH
 
+#include <array>
+#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "check/event_sink.hh"
@@ -119,11 +120,20 @@ class PmDevice
     struct BufferLine
     {
         Addr base = 0;   //!< 256 B-aligned address
-        std::unordered_map<unsigned, Word> words;
+        /** Dirty words of the line: bit i of wordMask gates values[i]. */
+        std::uint32_t wordMask = 0;
+        std::array<Word, pmBufferLineBytes / wordBytes> values{};
         bool logRegion = false;
         Tick lastUse = 0;
         bool evicting = false;
         bool valid = false;
+
+        void
+        set(unsigned idx, Word value)
+        {
+            wordMask |= std::uint32_t(1) << idx;
+            values[idx] = value;
+        }
     };
 
     unsigned bankOf(Addr addr) const
@@ -149,7 +159,7 @@ class PmDevice
     const SimConfig &_cfg;
     std::vector<BufferLine> _lines;
     std::vector<Tick> _banks;
-    std::vector<std::function<void()>> _slotWaiters;
+    std::deque<std::function<void()>> _slotWaiters;
     WordStore _media;
     check::PersistEventSink *_check = nullptr;
 

@@ -7,14 +7,38 @@
  * simulation bit-for-bit reproducible across runs — a requirement for the
  * crash-injection property tests, which replay a run up to an arbitrary
  * event index.
+ *
+ * Internally the queue is a calendar queue (a bucketed timing wheel),
+ * not a binary heap: almost every event in this simulator lands within a
+ * few thousand cycles of now (cache latencies, WPQ drains, PM
+ * programming pulses), so hashing events into per-tick buckets makes
+ * schedule() an append and pop a short bitmap scan instead of O(log n)
+ * heap churn. Far-future events (e.g. FWB's multi-million-cycle walker
+ * period) fall back to a lazily sorted overflow list and are promoted
+ * into the wheel once the cursor comes within one horizon of them. The
+ * pop order is *exactly* the old heap's (when, priority, sequence)
+ * order — DESIGN.md §4e documents the tiebreak contract, and
+ * tests/sim/event_queue_diff_test.cc proves equivalence against a
+ * reference std::priority_queue over a million randomized operations.
+ *
+ * Invariants:
+ *  - every wheel event's tick lies in [_cursor, _cursor + wheelSize),
+ *    so a bucket only ever holds events of one tick;
+ *  - every overflow event's tick is >= _cursor + wheelSize;
+ *  - _cursor <= the earliest pending event's tick.
+ * schedule() below now() clamps to now(); scheduling below the cursor
+ * (legal between run phases, e.g. post-crash settling) rewinds the
+ * cursor and demotes wheel events that fell out of the shrunk horizon.
  */
 
 #ifndef SILO_SIM_EVENT_QUEUE_HH
 #define SILO_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hh"
@@ -55,7 +79,26 @@ class EventQueue
     {
         if (when < _now)
             when = _now;
-        _heap.push(Scheduled{when, priority, _nextSeq++, std::move(cb)});
+        if (_size == 0)
+            _cursor = when;
+        else if (when < _cursor)
+            rewindCursor(when);
+        if (_peekValid && when <= _peekWhen) {
+            // A fresh event always carries the largest seq, so it only
+            // pops first on earlier tick or same-tick lower priority.
+            if (when < _peekWhen || priority < _peekPriority)
+                _peekValid = false;
+        }
+        ++_size;
+        if (when < _cursor + wheelSize) {
+            placeInWheel(Scheduled{when, priority, _nextSeq++,
+                                   std::move(cb)});
+        } else {
+            _overflowMin = std::min(_overflowMin, when);
+            _overflow.push_back(Scheduled{when, priority, _nextSeq++,
+                                          std::move(cb)});
+            _overflowSorted = false;
+        }
     }
 
     /** Schedule @p cb @p delta ticks from now. */
@@ -66,7 +109,7 @@ class EventQueue
     }
 
     /** @return true if no events remain. */
-    bool empty() const { return _heap.empty(); }
+    bool empty() const { return _size == 0; }
 
     /** Number of events executed so far. */
     std::uint64_t executedEvents() const { return _executed; }
@@ -85,8 +128,8 @@ class EventQueue
     runUntil(Tick limit)
     {
         std::uint64_t n = 0;
-        while (!_stopRequested && !_heap.empty() &&
-               _heap.top().when <= limit && runNext()) {
+        while (!_stopRequested && findNext() && _peekWhen <= limit &&
+               runNext()) {
             ++n;
         }
         return n;
@@ -102,11 +145,20 @@ class EventQueue
     bool
     runNext()
     {
-        if (_heap.empty())
+        if (!findNext())
             return false;
-        // Move the callback out before popping so it can reschedule.
-        Scheduled ev = _heap.top();
-        _heap.pop();
+        std::vector<Scheduled> &bucket = _wheel[_peekBucket];
+        Scheduled ev = std::move(bucket[_peekIndex]);
+        // Swap-remove: bucket order is irrelevant, the pop path always
+        // scans the (single-tick) bucket for the (priority, seq) min.
+        if (_peekIndex + 1 != bucket.size())
+            bucket[_peekIndex] = std::move(bucket.back());
+        bucket.pop_back();
+        if (bucket.empty())
+            clearOccupied(_peekBucket);
+        --_wheelCount;
+        --_size;
+        _peekValid = false;
         // Observers (the interval sampler) see the settled state of the
         // outgoing tick just before time advances. Driving them from
         // here instead of from their own scheduled events keeps a
@@ -161,7 +213,17 @@ class EventQueue
     void
     reset()
     {
-        _heap = {};
+        for (std::vector<Scheduled> &bucket : _wheel)
+            bucket.clear();
+        _occupied.fill(0);
+        _occupiedSummary.fill(0);
+        _overflow.clear();
+        _overflowSorted = true;
+        _overflowMin = maxTick;
+        _wheelCount = 0;
+        _size = 0;
+        _cursor = 0;
+        _peekValid = false;
         _now = 0;
         _executed = 0;
         _nextSeq = 0;
@@ -177,20 +239,191 @@ class EventQueue
         Callback callback;
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Scheduled &a, const Scheduled &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
-        }
-    };
+    /**
+     * Wheel geometry: one bucket per tick, 16K ticks of horizon —
+     * large enough that everything except multi-million-cycle
+     * periodics (the FWB walker) stays out of the overflow list.
+     */
+    static constexpr unsigned wheelBits = 14;
+    static constexpr Tick wheelSize = Tick(1) << wheelBits;
+    static constexpr Tick wheelMask = wheelSize - 1;
+    static constexpr std::size_t occWords = wheelSize / 64;
 
-    std::priority_queue<Scheduled, std::vector<Scheduled>, Later> _heap;
+    void
+    placeInWheel(Scheduled ev)
+    {
+        auto b = std::size_t(ev.when & wheelMask);
+        if (_wheel[b].empty())
+            setOccupied(b);
+        _wheel[b].push_back(std::move(ev));
+        ++_wheelCount;
+    }
+
+    void
+    setOccupied(std::size_t b)
+    {
+        _occupied[b >> 6] |= std::uint64_t(1) << (b & 63);
+        _occupiedSummary[b >> 12] |= std::uint64_t(1) << ((b >> 6) & 63);
+    }
+
+    void
+    clearOccupied(std::size_t b)
+    {
+        _occupied[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
+        if (_occupied[b >> 6] == 0) {
+            _occupiedSummary[b >> 12] &=
+                ~(std::uint64_t(1) << ((b >> 6) & 63));
+        }
+    }
+
+    /**
+     * The cursor moved backwards (scheduling below it between run
+     * phases): wheel events beyond the shrunk horizon drop back to the
+     * overflow list so buckets stay single-tick. O(pending events),
+     * and pending counts are tiny whenever this path triggers.
+     */
+    void
+    rewindCursor(Tick when)
+    {
+        _cursor = when;
+        if (_wheelCount == 0)
+            return;
+        Tick end = _cursor + wheelSize;
+        for (std::size_t w = 0; w < occWords; ++w) {
+            std::uint64_t bits = _occupied[w];
+            while (bits) {
+                auto b = (w << 6) +
+                         std::size_t(std::countr_zero(bits));
+                bits &= bits - 1;
+                std::vector<Scheduled> &bucket = _wheel[b];
+                if (bucket.front().when < end)
+                    continue;   // buckets are single-tick: all stay
+                _overflowMin =
+                    std::min(_overflowMin, bucket.front().when);
+                _wheelCount -= bucket.size();
+                for (Scheduled &ev : bucket)
+                    _overflow.push_back(std::move(ev));
+                _overflowSorted = false;
+                bucket.clear();
+                clearOccupied(b);
+            }
+        }
+        _peekValid = false;
+    }
+
+    /** Move overflow events that entered the horizon into the wheel. */
+    void
+    promoteOverflow()
+    {
+        if (_overflowMin >= _cursor + wheelSize)
+            return;
+        if (!_overflowSorted) {
+            // Descending (when, priority, seq): the nearest event sits
+            // at the back, so promotion pops cheaply in order.
+            std::sort(_overflow.begin(), _overflow.end(),
+                      [](const Scheduled &a, const Scheduled &b) {
+                          if (a.when != b.when)
+                              return a.when > b.when;
+                          if (a.priority != b.priority)
+                              return a.priority > b.priority;
+                          return a.seq > b.seq;
+                      });
+            _overflowSorted = true;
+        }
+        while (!_overflow.empty() &&
+               _overflow.back().when < _cursor + wheelSize) {
+            placeInWheel(std::move(_overflow.back()));
+            _overflow.pop_back();
+        }
+        _overflowMin =
+            _overflow.empty() ? maxTick : _overflow.back().when;
+    }
+
+    /** First occupied bucket at or after @p from, in circular order. */
+    std::size_t
+    nextOccupiedBucket(std::size_t from) const
+    {
+        std::size_t w = from >> 6;
+        std::uint64_t word = _occupied[w] >> (from & 63);
+        if (word)
+            return from + std::size_t(std::countr_zero(word));
+        // Two-level bitmap walk: summary bit i covers _occupied[i].
+        for (std::size_t step = 1; step <= occWords; ++step) {
+            std::size_t ww = (w + step) & (occWords - 1);
+            std::uint64_t s = _occupiedSummary[ww >> 6] >> (ww & 63);
+            if (s == 0) {
+                // Skip to the end of this summary word.
+                step += 63 - (ww & 63);
+                continue;
+            }
+            if ((s & 1) == 0) {
+                // Skip to the next set summary bit.
+                step += std::size_t(std::countr_zero(s)) - 1;
+                continue;
+            }
+            return (ww << 6) +
+                   std::size_t(std::countr_zero(_occupied[ww]));
+        }
+        return wheelSize;   // wheel is empty
+    }
+
+    /**
+     * Locate the next event — advance the cursor to its tick and cache
+     * its (bucket, index, when, priority) for runNext().
+     * @return false if the queue is empty.
+     */
+    bool
+    findNext()
+    {
+        if (_peekValid)
+            return true;
+        if (_size == 0)
+            return false;
+        promoteOverflow();
+        if (_wheelCount == 0) {
+            // Every pending event is far-future: jump the horizon.
+            _cursor = _overflowMin;
+            promoteOverflow();
+        }
+        std::size_t b =
+            nextOccupiedBucket(std::size_t(_cursor & wheelMask));
+        const std::vector<Scheduled> &bucket = _wheel[b];
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < bucket.size(); ++i) {
+            if (bucket[i].priority < bucket[best].priority ||
+                (bucket[i].priority == bucket[best].priority &&
+                 bucket[i].seq < bucket[best].seq)) {
+                best = i;
+            }
+        }
+        _cursor += (Tick(b) - _cursor) & wheelMask;
+        _peekBucket = b;
+        _peekIndex = best;
+        _peekWhen = bucket[best].when;
+        _peekPriority = bucket[best].priority;
+        _peekValid = true;
+        return true;
+    }
+
+    std::array<std::vector<Scheduled>, wheelSize> _wheel;
+    std::array<std::uint64_t, occWords> _occupied{};
+    std::array<std::uint64_t, occWords / 64> _occupiedSummary{};
+    /** Events beyond the horizon, sorted descending on demand. */
+    std::vector<Scheduled> _overflow;
+    bool _overflowSorted = true;
+    Tick _overflowMin = maxTick;
+    /** Lower bound on every pending event's tick. */
+    Tick _cursor = 0;
+    std::size_t _wheelCount = 0;
+    std::size_t _size = 0;
+    /** @name Cached position of the next event (set by findNext()) */
+    /// @{
+    bool _peekValid = false;
+    std::size_t _peekBucket = 0;
+    std::size_t _peekIndex = 0;
+    Tick _peekWhen = 0;
+    int _peekPriority = 0;
+    /// @}
     Tick _now = 0;
     std::uint64_t _executed = 0;
     std::uint64_t _nextSeq = 0;

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * A minimal, dependency-free SHA-256 (FIPS 180-4) for content
+ * fingerprinting — the golden determinism regression checks the hash
+ * of sweep results JSON against a checked-in digest. Not a hot path
+ * and not security-sensitive; chosen over std::hash because the
+ * digest must be stable across platforms, compilers and processes.
+ */
+
+#ifndef SILO_SIM_SHA256_HH
+#define SILO_SIM_SHA256_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace silo
+{
+
+/** Streaming SHA-256; use sha256Hex() for the one-shot case. */
+class Sha256
+{
+  public:
+    void
+    update(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        _total += len;
+        while (len > 0) {
+            std::size_t take = std::min(len, 64 - _fill);
+            std::memcpy(_block.data() + _fill, p, take);
+            _fill += take;
+            p += take;
+            len -= take;
+            if (_fill == 64) {
+                compress();
+                _fill = 0;
+            }
+        }
+    }
+
+    /** Finalize and return the digest as 64 lowercase hex chars. */
+    std::string
+    hex()
+    {
+        std::uint64_t bits = _total * 8;
+        std::uint8_t pad = 0x80;
+        update(&pad, 1);
+        std::uint8_t zero = 0;
+        while (_fill != 56)
+            update(&zero, 1);
+        std::array<std::uint8_t, 8> len_be;
+        for (int i = 0; i < 8; ++i)
+            len_be[i] = std::uint8_t(bits >> (56 - 8 * i));
+        update(len_be.data(), 8);
+
+        static const char digits[] = "0123456789abcdef";
+        std::string out(64, '0');
+        for (int i = 0; i < 8; ++i) {
+            for (int b = 0; b < 4; ++b) {
+                std::uint8_t byte =
+                    std::uint8_t(_h[i] >> (24 - 8 * b));
+                out[std::size_t(i * 8 + b * 2)] = digits[byte >> 4];
+                out[std::size_t(i * 8 + b * 2 + 1)] =
+                    digits[byte & 0xF];
+            }
+        }
+        return out;
+    }
+
+  private:
+    static std::uint32_t
+    rotr(std::uint32_t x, unsigned n)
+    {
+        return (x >> n) | (x << (32 - n));
+    }
+
+    void
+    compress()
+    {
+        static constexpr std::uint32_t k[64] = {
+            0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+            0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+            0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+            0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+            0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+            0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+            0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+            0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+            0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+            0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+            0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3,
+            0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+            0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5,
+            0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+            0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+            0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+        std::uint32_t w[64];
+        for (int i = 0; i < 16; ++i) {
+            w[i] = std::uint32_t(_block[std::size_t(i) * 4]) << 24 |
+                   std::uint32_t(_block[std::size_t(i) * 4 + 1]) << 16 |
+                   std::uint32_t(_block[std::size_t(i) * 4 + 2]) << 8 |
+                   std::uint32_t(_block[std::size_t(i) * 4 + 3]);
+        }
+        for (int i = 16; i < 64; ++i) {
+            std::uint32_t s0 = rotr(w[i - 15], 7) ^
+                               rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+            std::uint32_t s1 = rotr(w[i - 2], 17) ^
+                               rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+        }
+
+        std::uint32_t a = _h[0], b = _h[1], c = _h[2], d = _h[3];
+        std::uint32_t e = _h[4], f = _h[5], g = _h[6], h = _h[7];
+        for (int i = 0; i < 64; ++i) {
+            std::uint32_t s1 =
+                rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+            std::uint32_t ch = (e & f) ^ (~e & g);
+            std::uint32_t t1 = h + s1 + ch + k[i] + w[i];
+            std::uint32_t s0 =
+                rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+            std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+            std::uint32_t t2 = s0 + maj;
+            h = g;
+            g = f;
+            f = e;
+            e = d + t1;
+            d = c;
+            c = b;
+            b = a;
+            a = t1 + t2;
+        }
+        _h[0] += a;
+        _h[1] += b;
+        _h[2] += c;
+        _h[3] += d;
+        _h[4] += e;
+        _h[5] += f;
+        _h[6] += g;
+        _h[7] += h;
+    }
+
+    std::array<std::uint32_t, 8> _h{0x6a09e667, 0xbb67ae85,
+                                    0x3c6ef372, 0xa54ff53a,
+                                    0x510e527f, 0x9b05688c,
+                                    0x1f83d9ab, 0x5be0cd19};
+    std::array<std::uint8_t, 64> _block{};
+    std::size_t _fill = 0;
+    std::uint64_t _total = 0;
+};
+
+/** SHA-256 of @p data as lowercase hex. */
+inline std::string
+sha256Hex(std::string_view data)
+{
+    Sha256 h;
+    h.update(data.data(), data.size());
+    return h.hex();
+}
+
+} // namespace silo
+
+#endif // SILO_SIM_SHA256_HH

@@ -6,12 +6,33 @@
  * media image in the NVM device, and as the architectural value map in
  * the replay cores. Unwritten words read as zero, matching a zero-filled
  * device.
+ *
+ * Layout: a page-granular sparse directory over 4 KiB pages, so 16 GB
+ * of simulated PM costs memory proportional to the pages actually
+ * touched. Each page is a flat 512-word array plus a written bitmap
+ * (which words count toward the footprint); the directory mapping page
+ * number -> page is an open-addressing, power-of-two, linear-probing
+ * table (pages are never removed, so probing needs no tombstones), and
+ * the single-page hit cache short-circuits the probe for the common
+ * run of same-page accesses a replay core produces. This replaced an
+ * std::unordered_map<Addr, Word> whose per-word nodes, rehashes and
+ * teardown dominated whole-simulation profiles (see DESIGN.md §4e).
+ *
+ * Iteration order is deterministic: ascending address, via a sorted
+ * page index maintained on page creation. Crash-image comparison in
+ * src/check/ and the golden-JSON tests rely on this.
  */
 
 #ifndef SILO_SIM_WORD_STORE_HH
 #define SILO_SIM_WORD_STORE_HH
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -23,45 +44,320 @@ namespace silo
 class WordStore
 {
   public:
+    WordStore() = default;
+
+    /** Adopt a plain map image (test convenience). */
+    WordStore(const std::unordered_map<Addr, Word> &image)
+    {
+        loadImage(image);
+    }
+
     /** Read the word at @p addr; zero if never written. */
     Word
     load(Addr addr) const
     {
-        auto it = _words.find(checkAligned(addr));
-        return it == _words.end() ? 0 : it->second;
+        checkAligned(addr);
+        Addr page_no = addr >> pageByteBits;
+        std::size_t idx;
+        if (page_no == _hitPageNo) {
+            idx = _hitPage;
+        } else {
+            idx = findPage(page_no);
+            if (idx == npos)
+                return 0;
+        }
+        // Unwritten words are zero-initialized, so no bitmap test.
+        return _pages[idx].words[wordIndex(addr)];
     }
 
     /** Write @p value at @p addr. */
     void
     store(Addr addr, Word value)
     {
-        _words[checkAligned(addr)] = value;
+        checkAligned(addr);
+        Page &page = pageFor(addr >> pageByteBits);
+        markWritten(page, wordIndex(addr));
+        page.words[wordIndex(addr)] = value;
+    }
+
+    /**
+     * Reference to the word at @p addr, creating it as zero (and
+     * counting it written) if absent — unordered_map::operator[]
+     * semantics, for oracle-building test code.
+     */
+    Word &
+    operator[](Addr addr)
+    {
+        checkAligned(addr);
+        Page &page = pageFor(addr >> pageByteBits);
+        markWritten(page, wordIndex(addr));
+        return page.words[wordIndex(addr)];
+    }
+
+    /** @return true if @p addr was ever written. */
+    bool
+    contains(Addr addr) const
+    {
+        checkAligned(addr);
+        std::size_t idx = findPage(addr >> pageByteBits);
+        if (idx == npos)
+            return false;
+        unsigned w = wordIndex(addr);
+        return (_pages[idx].written[w >> 6] >>
+                (w & 63)) & 1;
     }
 
     /** Number of distinct words ever written. */
-    std::size_t footprintWords() const { return _words.size(); }
+    std::size_t footprintWords() const { return _footprint; }
 
-    /** Direct access for snapshotting / comparison. */
-    const std::unordered_map<Addr, Word> &words() const { return _words; }
+    /** Alias of footprintWords() (map-like spelling). */
+    std::size_t size() const { return _footprint; }
 
-    /** Bulk-load an image (e.g., the workload's initial memory). */
+    /** @return true if no word was ever written. */
+    bool empty() const { return _footprint == 0; }
+
+    /**
+     * Snapshot of every written (address, value) pair in ascending
+     * address order.
+     */
+    std::vector<std::pair<Addr, Word>>
+    words() const
+    {
+        std::vector<std::pair<Addr, Word>> out;
+        out.reserve(_footprint);
+        for (const auto &[addr, value] : *this)
+            out.emplace_back(addr, value);
+        return out;
+    }
+
+    /** Bulk-overlay another store's written words onto this one. */
+    void
+    loadImage(const WordStore &image)
+    {
+        for (std::uint32_t src_idx : image._order) {
+            const Page &src = image._pages[src_idx];
+            Page &dst = pageFor(image._pageNos[src_idx]);
+            for (unsigned bw = 0; bw < bitmapWords; ++bw) {
+                std::uint64_t bits = src.written[bw];
+                while (bits) {
+                    unsigned w = bw * 64 +
+                                 unsigned(std::countr_zero(bits));
+                    bits &= bits - 1;
+                    markWritten(dst, w);
+                    dst.words[w] = src.words[w];
+                }
+            }
+        }
+    }
+
+    /** Bulk-load a plain map image. */
     void
     loadImage(const std::unordered_map<Addr, Word> &image)
     {
         for (const auto &[addr, value] : image)
-            _words[addr] = value;
+            store(addr, value);
     }
 
+    /**
+     * Forward const iterator over written (address, value) pairs,
+     * in ascending address order.
+     */
+    class const_iterator
+    {
+      public:
+        using value_type = std::pair<Addr, Word>;
+
+        value_type
+        operator*() const
+        {
+            std::size_t idx = _store->_order[_orderPos];
+            return {(_store->_pageNos[idx] << pageByteBits) +
+                        Addr(_word) * wordBytes,
+                    _store->_pages[idx].words[_word]};
+        }
+
+        const_iterator &
+        operator++()
+        {
+            ++_word;
+            seek();
+            return *this;
+        }
+
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return _orderPos == o._orderPos && _word == o._word;
+        }
+
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return !(*this == o);
+        }
+
+      private:
+        friend class WordStore;
+
+        const_iterator(const WordStore *store, std::size_t order_pos)
+            : _store(store), _orderPos(order_pos)
+        {
+            seek();
+        }
+
+        /** Advance to the next written word at or after the cursor. */
+        void
+        seek()
+        {
+            while (_orderPos < _store->_order.size()) {
+                const Page &page =
+                    _store->_pages[_store->_order[_orderPos]];
+                while (_word < pageWords) {
+                    std::uint64_t bits = page.written[_word >> 6] >>
+                                         (_word & 63);
+                    if (bits) {
+                        _word += unsigned(std::countr_zero(bits));
+                        return;
+                    }
+                    _word = (_word | 63) + 1;
+                }
+                ++_orderPos;
+                _word = 0;
+            }
+            _word = 0;   // canonical end position
+        }
+
+        const WordStore *_store;
+        std::size_t _orderPos;
+        unsigned _word = 0;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, _order.size()}; }
+
   private:
-    static Addr
+    static constexpr unsigned pageByteBits = 12;   //!< 4 KiB pages
+    static constexpr std::size_t pageWords =
+        (std::size_t(1) << pageByteBits) / wordBytes;
+    static constexpr std::size_t bitmapWords = pageWords / 64;
+    static constexpr std::size_t npos = ~std::size_t(0);
+
+    struct Page
+    {
+        std::array<Word, pageWords> words{};
+        std::array<std::uint64_t, bitmapWords> written{};
+    };
+
+    static void
     checkAligned(Addr addr)
     {
         if (addr % wordBytes != 0)
             panic("unaligned word access");
-        return addr;
     }
 
-    std::unordered_map<Addr, Word> _words;
+    static unsigned
+    wordIndex(Addr addr)
+    {
+        return unsigned((addr & ((Addr(1) << pageByteBits) - 1)) /
+                        wordBytes);
+    }
+
+    /** Fibonacci-hash a page number into the directory table. */
+    std::size_t
+    hashSlot(Addr page_no) const
+    {
+        return std::size_t(
+            (page_no * 0x9E3779B97F4A7C15ull) >> _tableShift);
+    }
+
+    /** @return index of @p page_no's page, or npos. */
+    std::size_t
+    findPage(Addr page_no) const
+    {
+        if (_table.empty())
+            return npos;
+        std::size_t mask = _table.size() - 1;
+        for (std::size_t slot = hashSlot(page_no);;
+             slot = (slot + 1) & mask) {
+            std::uint32_t entry = _table[slot];
+            if (entry == 0)
+                return npos;
+            if (_pageNos[entry - 1] == page_no)
+                return entry - 1;
+        }
+    }
+
+    /** Find or create the page for @p page_no; updates the hit cache. */
+    Page &
+    pageFor(Addr page_no)
+    {
+        if (page_no == _hitPageNo)
+            return _pages[_hitPage];
+        std::size_t idx = findPage(page_no);
+        if (idx == npos) {
+            if ((_pages.size() + 1) * 4 >= _table.size() * 3)
+                growTable();
+            idx = _pages.size();
+            _pages.emplace_back();
+            _pageNos.push_back(page_no);
+            insertSlot(page_no, std::uint32_t(idx));
+            // Keep the iteration order sorted by address: pages are
+            // created rarely, so the O(#pages) insert is cheap.
+            auto pos = std::lower_bound(
+                _order.begin(), _order.end(), page_no,
+                [this](std::uint32_t existing, Addr no) {
+                    return _pageNos[existing] < no;
+                });
+            _order.insert(pos, std::uint32_t(idx));
+        }
+        _hitPageNo = page_no;
+        _hitPage = idx;
+        return _pages[idx];
+    }
+
+    void
+    insertSlot(Addr page_no, std::uint32_t idx)
+    {
+        std::size_t mask = _table.size() - 1;
+        std::size_t slot = hashSlot(page_no);
+        while (_table[slot] != 0)
+            slot = (slot + 1) & mask;
+        _table[slot] = idx + 1;
+    }
+
+    void
+    growTable()
+    {
+        std::size_t capacity =
+            _table.empty() ? 64 : _table.size() * 2;
+        _table.assign(capacity, 0);
+        _tableShift = unsigned(
+            64 - std::countr_zero(std::uint64_t(capacity)));
+        for (std::size_t i = 0; i < _pageNos.size(); ++i)
+            insertSlot(_pageNos[i], std::uint32_t(i));
+    }
+
+    void
+    markWritten(Page &page, unsigned word)
+    {
+        std::uint64_t bit = std::uint64_t(1) << (word & 63);
+        if (!(page.written[word >> 6] & bit)) {
+            page.written[word >> 6] |= bit;
+            ++_footprint;
+        }
+    }
+
+    std::vector<Page> _pages;
+    std::vector<Addr> _pageNos;      //!< page number of _pages[i]
+    std::vector<std::uint32_t> _order;   //!< page indices, by address
+    std::vector<std::uint32_t> _table;   //!< directory: page index + 1
+    unsigned _tableShift = 64;
+    std::size_t _footprint = 0;
+    /** @name Last-touched-page hit cache (read-only in const paths) */
+    /// @{
+    Addr _hitPageNo = ~Addr(0);
+    std::size_t _hitPage = 0;
+    /// @}
 };
 
 } // namespace silo

@@ -8,11 +8,11 @@
 #define SILO_WORKLOAD_TRACE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/types.hh"
+#include "sim/word_store.hh"
 
 namespace silo::workload
 {
@@ -45,9 +45,9 @@ struct WorkloadTraces
 {
     std::vector<ThreadTrace> threads;
     /** PM contents after the (untimed) setup phase. */
-    std::unordered_map<Addr, Word> initialMemory;
+    WordStore initialMemory;
     /** PM contents after functionally applying every transaction. */
-    std::unordered_map<Addr, Word> finalMemory;
+    WordStore finalMemory;
 };
 
 /** Per-transaction write statistics (drives Fig. 4). */

@@ -33,7 +33,7 @@ generateTraces(const TraceGenConfig &cfg)
         workloads[t]->setup(*recorders[t], heaps[t], rngs[t]);
     }
 
-    out.initialMemory = mem.words();
+    out.initialMemory = mem;
 
     // Phase 2: record each thread's transactions. Thread arenas are
     // disjoint so per-thread sequential generation composes into any
@@ -51,7 +51,7 @@ generateTraces(const TraceGenConfig &cfg)
         recorders[t]->setRecording(false);
     }
 
-    out.finalMemory = mem.words();
+    out.finalMemory = mem;
     return out;
 }
 

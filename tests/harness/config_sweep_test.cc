@@ -98,7 +98,7 @@ TEST_P(ConfigSweep, SiloCrashRecoveryStaysCorrect)
     sys.crash();
     sys.recover();
 
-    std::unordered_map<Addr, Word> expected = traces.initialMemory;
+    WordStore expected = traces.initialMemory;
     for (unsigned t = 0; t < 2; ++t) {
         std::size_t upto = sys.coreAt(t).committedOpIndex();
         if (sys.scheme().lastTxCommittedAtCrash(t))
@@ -191,7 +191,7 @@ TEST(SeedSensitivity, DifferentSeedsDifferentTracesBothRecover)
         sys.crash();
         sys.recover();
 
-        std::unordered_map<Addr, Word> expected = traces.initialMemory;
+        WordStore expected = traces.initialMemory;
         for (unsigned t = 0; t < 2; ++t) {
             std::size_t upto = sys.coreAt(t).committedOpIndex();
             if (sys.scheme().lastTxCommittedAtCrash(t))

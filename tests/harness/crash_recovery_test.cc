@@ -71,7 +71,7 @@ class CrashRecovery : public ::testing::TestWithParam<CrashCase>
         // transactions, in trace order per thread. A commit that was
         // in flight at the crash counts if the scheme durably
         // recorded it (its done() just had not fired yet).
-        std::unordered_map<Addr, Word> expected = traces.initialMemory;
+        WordStore expected = traces.initialMemory;
         for (unsigned t = 0; t < 2; ++t) {
             std::size_t upto = sys.coreAt(t).committedOpIndex();
             if (sys.scheme().lastTxCommittedAtCrash(t))

@@ -135,7 +135,7 @@ TEST_P(SemanticRecovery, RBtreeInvariantsHoldAfterRecovery)
             workload::PmHeap heap = workload::PmHeap::forThread(t);
             Rng rng(17 * 1000003 + t);
             WordStore scratch;
-            scratch.loadImage(sys.pm().media().words());
+            scratch.loadImage(sys.pm().media());
             class RwClient : public workload::MemClient
             {
               public:

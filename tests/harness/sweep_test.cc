@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "harness/sweep.hh"
+#include "sim/sha256.hh"
 
 namespace silo::harness
 {
@@ -223,6 +224,112 @@ TEST(TracePath, InsertsCellCoordinatesBeforeExtension)
     EXPECT_EQ(tracePathFor("/tmp/t/trace.json", spec),
               "/tmp/t/trace-Silo-Hash-4c.json");
     EXPECT_EQ(tracePathFor("trace", spec), "trace-Silo-Hash-4c.json");
+}
+
+/**
+ * Golden determinism regression (the hot-path rewrite's proof
+ * obligation, and a tripwire for every future change): the results
+ * JSON of a fixed small matrix must match a checked-in golden file —
+ * and its checked-in SHA-256 — exactly, under both SILO_JOBS=1 and 8.
+ * Any change that perturbs simulated-time results fails here with a
+ * line-level diff instead of silently shifting figures.
+ *
+ * To update after an *intentional* simulation change:
+ *   SILO_UPDATE_GOLDEN=1 ./build/tests/sweep_test \
+ *       --gtest_filter='SweepGolden.*'
+ * then commit the regenerated golden files with an explanation.
+ */
+TEST(SweepGolden, ResultsJsonMatchesCheckedInDigest)
+{
+    const std::string golden_path =
+        std::string(SILO_TEST_DIR) + "/harness/golden/sweep_small.json";
+    const std::string digest_path = golden_path + ".sha256";
+
+    std::string json;
+    for (unsigned jobs : {1u, 8u}) {
+        Sweep sweep({.jobs = jobs, .progress = false});
+        for (auto &spec : smallMatrix())
+            sweep.add(spec);
+        sweep.run();
+        std::string path = ::testing::TempDir() + "sweep_golden_" +
+                           std::to_string(jobs) + ".json";
+        sweep.writeJson(path, "sweep_golden");
+        std::string got = slurp(path);
+        ASSERT_FALSE(got.empty());
+        if (json.empty())
+            json = got;
+        else
+            ASSERT_EQ(json, got) << "jobs=" << jobs
+                                 << " diverged from jobs=1";
+    }
+
+    if (std::getenv("SILO_UPDATE_GOLDEN")) {
+        std::ofstream(golden_path, std::ios::binary) << json;
+        std::ofstream(digest_path, std::ios::binary)
+            << sha256Hex(json) << "\n";
+        GTEST_SKIP() << "golden files regenerated at " << golden_path;
+    }
+
+    std::string golden = slurp(golden_path);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << golden_path
+        << " (regenerate with SILO_UPDATE_GOLDEN=1)";
+    std::string want_digest = slurp(digest_path);
+    while (!want_digest.empty() &&
+           (want_digest.back() == '\n' || want_digest.back() == '\r'))
+        want_digest.pop_back();
+    EXPECT_EQ(sha256Hex(golden), want_digest)
+        << "golden file and its .sha256 are out of sync";
+
+    if (json != golden) {
+        // Readable failure: name the first differing line.
+        std::istringstream got_s(json), want_s(golden);
+        std::string got_line, want_line;
+        std::size_t line = 0;
+        while (true) {
+            ++line;
+            bool got_ok = bool(std::getline(got_s, got_line));
+            bool want_ok = bool(std::getline(want_s, want_line));
+            if (!got_ok && !want_ok)
+                break;
+            if (got_line != want_line || got_ok != want_ok) {
+                FAIL() << "results JSON diverges from " << golden_path
+                       << " at line " << line << "\n  golden: "
+                       << (want_ok ? want_line : "<eof>")
+                       << "\n  actual: "
+                       << (got_ok ? got_line : "<eof>")
+                       << "\nIf the simulation change is intentional, "
+                          "regenerate with SILO_UPDATE_GOLDEN=1.";
+            }
+        }
+    }
+    EXPECT_EQ(sha256Hex(json), want_digest);
+}
+
+TEST(SweepGolden, Sha256KnownVectors)
+{
+    // FIPS 180-4 test vectors, so a broken hash cannot silently
+    // "match" a stale digest file.
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(
+        sha256Hex("abcdbcdecdefdefgefghfghighijhijk"
+                  "ijkljklmklmnlmnomnopnopq"),
+        "248d6a61d20638b8e5c026930c3e6039"
+        "a33ce45964ff2167f6ecedd419db06c1");
+    // Multi-block + length padding edge (55/56/64-byte boundaries).
+    EXPECT_EQ(sha256Hex(std::string(56, 'a')),
+              "b35439a4ac6f0948b6d6f9e3c6af0f5f"
+              "590ce20f1bde7090ef7970686ec6738a");
+    EXPECT_EQ(sha256Hex(std::string(64, 'a')),
+              "ffe054fe7ae0cb6dc65c3af9b61d5209"
+              "f439851db43d0ba5997337df154668eb");
+    EXPECT_EQ(sha256Hex(std::string(1000, 'x')),
+              sha256Hex(std::string(1000, 'x')));
 }
 
 TEST(SweepTraceCache, RerunGeneratesNothingNew)

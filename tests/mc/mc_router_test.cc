@@ -112,7 +112,7 @@ TEST_P(MultiMcSystem, CrashRecoveryHoldsWithTwoControllers)
     sys.crash();
     sys.recover();
 
-    std::unordered_map<Addr, Word> expected = traces.initialMemory;
+    WordStore expected = traces.initialMemory;
     for (unsigned t = 0; t < 4; ++t) {
         std::size_t upto = sys.coreAt(t).committedOpIndex();
         if (sys.scheme().lastTxCommittedAtCrash(t))

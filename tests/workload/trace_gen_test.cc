@@ -72,7 +72,7 @@ TEST_P(TraceWellFormed, BalancedAndPartitioned)
 TEST_P(TraceWellFormed, ReplayOverInitialGivesFinalImage)
 {
     auto traces = generateTraces(smallConfig(GetParam()));
-    std::unordered_map<Addr, Word> image = traces.initialMemory;
+    WordStore image = traces.initialMemory;
     for (const auto &trace : traces.threads) {
         for (const auto &op : trace.ops) {
             if (op.kind == TxOp::Kind::Store)
@@ -150,7 +150,7 @@ TEST(WriteSets, ArrayStoresAreMostlySilent)
     // §VI-D: ~90% of Array's stores do not change the word's value.
     auto traces = generateTraces(smallConfig(WorkloadKind::Array, 1,
                                              300));
-    std::unordered_map<Addr, Word> image = traces.initialMemory;
+    WordStore image = traces.initialMemory;
     std::uint64_t silent = 0, total = 0;
     for (const auto &op : traces.threads[0].ops) {
         if (op.kind != TxOp::Kind::Store)

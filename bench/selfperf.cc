@@ -19,7 +19,6 @@
 
 #include <sys/resource.h>
 
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +30,7 @@
 #include <vector>
 
 #include "harness/sweep.hh"
+#include "harness/walltime.hh"
 #include "matrix_common.hh"
 #include "mem/cache.hh"
 #include "sim/event_queue.hh"
@@ -45,9 +45,7 @@ using namespace silo;
 double
 nowSeconds()
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
+    return harness::wallSeconds();
 }
 
 /** Peak resident set size in KiB (ru_maxrss is KiB on Linux). */
@@ -255,8 +253,8 @@ main()
               << std::uint64_t(cp.opsPerSecond()) << " probes/s\n"
               << "selfperf: peak RSS     " << rss_kib << " KiB\n";
 
-    const char *env_path = std::getenv("SILO_JSON");
-    std::string path = env_path ? env_path : "BENCH_PR4.json";
+    std::string path =
+        harness::envStrOr("SILO_JSON", "BENCH_PR4.json");
 
     std::string json;
     json += "{\n";

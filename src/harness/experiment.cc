@@ -12,7 +12,8 @@ namespace silo::harness
 std::uint64_t
 envOr(const char *name, std::uint64_t fallback)
 {
-    const char *value = std::getenv(name);
+    // silo-lint: allow(ambient-entropy) envOr is the sanctioned getenv shim every other file must use
+    const char *value = std::getenv(name);   // NOLINT(concurrency-mt-unsafe)
     if (!value || !*value)
         return fallback;
     const char *end = value + std::strlen(value);
@@ -25,6 +26,16 @@ envOr(const char *name, std::uint64_t fallback)
         fatal(std::string(name) + "=\"" + value +
               "\" is not an unsigned decimal integer");
     return parsed;
+}
+
+std::string
+envStrOr(const char *name, const std::string &fallback)
+{
+    // silo-lint: allow(ambient-entropy) envStrOr is the sanctioned getenv shim every other file must use
+    const char *value = std::getenv(name);   // NOLINT(concurrency-mt-unsafe)
+    if (!value || !*value)
+        return fallback;
+    return value;
 }
 
 std::string

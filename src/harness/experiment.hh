@@ -30,6 +30,16 @@ namespace silo::harness
  */
 std::uint64_t envOr(const char *name, std::uint64_t fallback);
 
+/**
+ * Read a string-valued configuration knob from the environment.
+ *
+ * Unset or empty returns @p fallback. Like envOr() this is the one
+ * sanctioned route to the environment: silo-lint rule R2 bans raw
+ * getenv() everywhere else, so every knob gets the same
+ * empty-equals-unset convention.
+ */
+std::string envStrOr(const char *name, const std::string &fallback);
+
 /** Trace cache keyed on generation parameters (shared by schemes). */
 class TraceCache
 {

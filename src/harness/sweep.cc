@@ -3,7 +3,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -15,6 +14,7 @@
 #include <sstream>
 #include <thread>
 
+#include "harness/walltime.hh"
 #include "sim/logging.hh"
 
 namespace silo::harness
@@ -26,9 +26,7 @@ namespace
 double
 nowSeconds()
 {
-    using namespace std::chrono;
-    return duration<double>(steady_clock::now().time_since_epoch())
-        .count();
+    return wallSeconds();
 }
 
 /** Round-trippable, locale-independent double formatting. */
@@ -192,7 +190,7 @@ Sweep::runOne(std::size_t index)
     // every cell by default, or just #SILO_TRACE_CELL when that is set.
     // Each traced cell writes its own file (see tracePathFor).
     SimConfig sim = spec.sim;
-    if (const char *base = std::getenv("SILO_TRACE"); base && *base) {
+    if (std::string base = envStrOr("SILO_TRACE", ""); !base.empty()) {
         std::uint64_t only =
             envOr("SILO_TRACE_CELL", ~std::uint64_t(0));
         if (only == ~std::uint64_t(0) || only == index) {
@@ -328,9 +326,7 @@ tracePathFor(const std::string &base, const CellSpec &spec)
 std::string
 jsonOutputPath(const std::string &benchmark)
 {
-    if (const char *env = std::getenv("SILO_JSON"); env && *env)
-        return env;
-    return "results/" + benchmark + ".json";
+    return envStrOr("SILO_JSON", "results/" + benchmark + ".json");
 }
 
 } // namespace silo::harness

@@ -47,9 +47,9 @@ class WordStore
     WordStore() = default;
 
     /** Adopt a plain map image (test convenience). */
-    WordStore(const std::unordered_map<Addr, Word> &image)
+    WordStore(const std::unordered_map<Addr, Word> &map_image)
     {
-        loadImage(image);
+        loadImage(map_image);
     }
 
     /** Read the word at @p addr; zero if never written. */
@@ -152,9 +152,18 @@ class WordStore
 
     /** Bulk-load a plain map image. */
     void
-    loadImage(const std::unordered_map<Addr, Word> &image)
+    loadImage(const std::unordered_map<Addr, Word> &map_image)
     {
-        for (const auto &[addr, value] : image)
+        // Collect, then sort: page-creation order (and therefore the
+        // directory layout) must not depend on the hash iteration
+        // order of a caller's map, even though reads are unaffected.
+        std::vector<std::pair<Addr, Word>> pairs;
+        pairs.reserve(map_image.size());
+        // silo-lint: allow(nondet-iteration) order-insensitive collect; the pairs are sorted by address before any store()
+        for (const auto &[addr, value] : map_image)
+            pairs.emplace_back(addr, value);
+        std::sort(pairs.begin(), pairs.end());
+        for (const auto &[addr, value] : pairs)
             store(addr, value);
     }
 

@@ -67,6 +67,8 @@ analyzeWriteSets(const ThreadTrace &trace)
     std::uint64_t tx_count = 0;
     std::uint64_t total_stores = 0;
     std::uint64_t total_unique = 0;
+    // Audited for silo-lint R1: only insert()/clear()/size() — never
+    // iterated, so hash order cannot leak into the statistics.
     std::unordered_set<Addr> unique;
     std::uint64_t stores = 0;
 

@@ -38,6 +38,7 @@ TEST(PublicApi, UmbrellaWorkflowCompilesAndRuns)
     EXPECT_GT(battery.flushEnergyUj, 0.0);
 
     // And the experiment helpers.
+    // silo-lint: allow(env-doc-parity) deliberately-unset synthetic knob probing the fallback path; not a real configuration variable
     EXPECT_EQ(silo::harness::envOr("SILO_SURELY_UNSET_KNOB", 7u), 7u);
 }
 

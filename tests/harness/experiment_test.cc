@@ -19,15 +19,22 @@ namespace silo::harness
 namespace
 {
 
+// silo-lint: allow(env-doc-parity) synthetic knob that exists only inside this test; documenting it would mislead users
 constexpr const char *knob = "SILO_TEST_KNOB";
 
 /** Sets the knob for one test and always unsets it on exit. */
 class EnvOr : public ::testing::Test
 {
   protected:
-    void TearDown() override { unsetenv(knob); }
+    void TearDown() override
+    {
+        unsetenv(knob);   // NOLINT(concurrency-mt-unsafe)
+    }
 
-    void set(const char *value) { setenv(knob, value, 1); }
+    void set(const char *value)
+    {
+        setenv(knob, value, 1);   // NOLINT(concurrency-mt-unsafe)
+    }
 
     /** Expect fatal() whose message names the offending variable. */
     void

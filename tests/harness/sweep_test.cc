@@ -201,9 +201,9 @@ TEST(SweepStats, StatsJsonEmbeddedPerCellAndRemovableViaEnv)
     std::string without_path =
         ::testing::TempDir() + "sweep_nostats.json";
     sweep.writeJson(with_path, "sweep_test");
-    ASSERT_EQ(setenv("SILO_STATS_JSON", "0", 1), 0);
+    ASSERT_EQ(setenv("SILO_STATS_JSON", "0", 1), 0);   // NOLINT(concurrency-mt-unsafe)
     sweep.writeJson(without_path, "sweep_test");
-    unsetenv("SILO_STATS_JSON");
+    unsetenv("SILO_STATS_JSON");   // NOLINT(concurrency-mt-unsafe)
 
     std::string with = slurp(with_path);
     std::string without = slurp(without_path);
@@ -263,7 +263,7 @@ TEST(SweepGolden, ResultsJsonMatchesCheckedInDigest)
                                  << " diverged from jobs=1";
     }
 
-    if (std::getenv("SILO_UPDATE_GOLDEN")) {
+    if (!envStrOr("SILO_UPDATE_GOLDEN", "").empty()) {
         std::ofstream(golden_path, std::ios::binary) << json;
         std::ofstream(digest_path, std::ios::binary)
             << sha256Hex(json) << "\n";

@@ -11,6 +11,8 @@
  * wiring in tests/CMakeLists.txt.
  */
 
+// silo-lint: allowfile(handler-hygiene) test callbacks run synchronously within the enclosing scope; [&] over stack locals is safe here
+
 #include <gtest/gtest.h>
 
 #include <cstdint>

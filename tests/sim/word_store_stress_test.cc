@@ -35,6 +35,7 @@ expectMatchesOracle(const WordStore &store,
 {
     ASSERT_EQ(store.size(), oracle.size());
     ASSERT_EQ(store.footprintWords(), oracle.size());
+    // silo-lint: allow(nondet-iteration) per-key containment checks; pass/fail is independent of visit order
     for (const auto &[addr, value] : oracle) {
         ASSERT_TRUE(store.contains(addr)) << std::hex << addr;
         ASSERT_EQ(store.load(addr), value) << std::hex << addr;

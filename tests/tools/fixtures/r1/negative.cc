@@ -1,0 +1,17 @@
+// silo-lint test fixture: R1 negatives — point lookups and an end()
+// sentinel comparison are order-neutral and must not be flagged.
+#include <unordered_map>
+#include <vector>
+
+int
+lookups(const std::unordered_map<int, int> &counts,
+        const std::vector<int> &keys)
+{
+    int sum = 0;
+    for (int k : keys) {
+        auto it = counts.find(k);
+        if (it != counts.end())
+            sum += it->second;
+    }
+    return sum;
+}

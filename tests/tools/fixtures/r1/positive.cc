@@ -1,0 +1,14 @@
+// silo-lint test fixture: R1 positives — a range-for and an explicit
+// iterator walk over an unordered container. Never compiled.
+#include <unordered_map>
+
+int
+sumValues(const std::unordered_map<int, int> &counts)
+{
+    int sum = 0;
+    for (const auto &[key, value] : counts)
+        sum += value;
+    auto it = counts.begin();
+    sum += it->second;
+    return sum;
+}

@@ -1,0 +1,12 @@
+// silo-lint test fixture: R1 violation under a reasoned allow().
+#include <unordered_map>
+
+int
+keyCount(const std::unordered_map<int, int> &counts)
+{
+    int n = 0;
+    // silo-lint: allow(nondet-iteration) order-insensitive count accumulation
+    for (const auto &[key, value] : counts)
+        n += 1;
+    return n;
+}

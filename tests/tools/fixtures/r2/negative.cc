@@ -1,0 +1,9 @@
+// silo-lint test fixture: R2 negative — seeded, deterministic mixing
+// with no ambient time/entropy/environment access.
+#include <cstdint>
+
+std::uint64_t
+mix(std::uint64_t seed)
+{
+    return seed * 0x9E3779B97F4A7C15ull;
+}

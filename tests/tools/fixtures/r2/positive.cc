@@ -1,0 +1,12 @@
+// silo-lint test fixture: R2 positives — a wall-clock read and a raw
+// getenv outside the harness shims.
+#include <chrono>
+#include <cstdlib>
+
+bool
+leaky()
+{
+    auto now = std::chrono::system_clock::now();
+    const char *home = std::getenv("HOME");
+    return home != nullptr && now.time_since_epoch().count() > 0;
+}

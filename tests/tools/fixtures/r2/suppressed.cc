@@ -1,0 +1,11 @@
+// silo-lint test fixture: R2 violation under a reasoned allow().
+#include <chrono>
+
+double
+shimSeconds()
+{
+    using namespace std::chrono;
+    // silo-lint: allow(ambient-entropy) timing shim fixture: progress display only
+    return duration<double>(steady_clock::now().time_since_epoch())
+        .count();
+}

@@ -1,0 +1,9 @@
+// silo-lint test fixture: R3 negative — every referenced knob is
+// documented and every documented knob is referenced.
+#include <string>
+
+std::string
+knobName()
+{
+    return "SILO_GOOD_KNOB";
+}

@@ -1,0 +1,9 @@
+// silo-lint test fixture: R3 positive — references a knob the fixture
+// README never documents (and the README documents an orphan knob).
+#include <string>
+
+std::string
+knobName()
+{
+    return "SILO_UNDOCUMENTED_KNOB";
+}

@@ -1,0 +1,10 @@
+// silo-lint test fixture: R3 code-side violation under a reasoned
+// allow() comment.
+#include <string>
+
+std::string
+knobName()
+{
+    // silo-lint: allow(env-doc-parity) fixture-only knob, deliberately undocumented
+    return "SILO_UNDOCUMENTED_KNOB";
+}

@@ -1,0 +1,14 @@
+// silo-lint test fixture: R4 negative — explicit captures and a
+// non-negative delay.
+struct Queue
+{
+    template <typename F>
+    void schedule(long when, F &&fn);
+};
+
+void
+arm(Queue &q)
+{
+    int local = 0;
+    q.schedule(10, [&local] { ++local; });
+}

@@ -1,0 +1,15 @@
+// silo-lint test fixture: R4 positives — a negative delay (Tick is
+// unsigned and wraps) and a default-capture deferred callback.
+struct Queue
+{
+    template <typename F>
+    void schedule(long when, F &&fn);
+};
+
+void
+arm(Queue &q)
+{
+    int local = 0;
+    q.schedule(-5, [&local] { ++local; });
+    q.schedule(10, [&] { ++local; });
+}

@@ -1,0 +1,14 @@
+// silo-lint test fixture: R4 violation under a reasoned allow().
+struct Queue
+{
+    template <typename F>
+    void schedule(long when, F &&fn);
+};
+
+void
+arm(Queue &q)
+{
+    int local = 0;
+    // silo-lint: allow(handler-hygiene) fixture: callback runs before arm() returns
+    q.schedule(10, [&] { ++local; });
+}

@@ -1,0 +1,11 @@
+// silo-lint test fixture: R5 negative — unique, schema-valid names.
+namespace stats
+{
+struct Scalar
+{
+    Scalar(const char *name);
+};
+} // namespace stats
+
+stats::Scalar txCommitted{"tx_committed"};
+stats::Scalar mediaWrites{"media_word_writes_2"};

@@ -1,0 +1,13 @@
+// silo-lint test fixture: R5 positives — a name violating the
+// silo-stats-v1 key grammar and a duplicate registration.
+namespace stats
+{
+struct Scalar
+{
+    Scalar(const char *name);
+};
+} // namespace stats
+
+stats::Scalar badName{"BadName"};
+stats::Scalar dupA{"tx_committed"};
+stats::Scalar dupB{"tx_committed"};

@@ -1,0 +1,11 @@
+// silo-lint test fixture: R5 violation under a reasoned allow().
+namespace stats
+{
+struct Scalar
+{
+    Scalar(const char *name);
+};
+} // namespace stats
+
+// silo-lint: allow(stats-names) fixture: legacy dashboard key kept verbatim
+stats::Scalar legacy{"Legacy-Key"};

@@ -1,0 +1,11 @@
+// silo-lint test fixture: S0 positives — the suppression grammar is
+// itself linted.
+
+// silo-lint: allow(nondet-iteration)
+int missingReason();
+
+// silo-lint: allow(bogus-rule) some reason text
+int unknownRule();
+
+// silo-lint: allow(ambient-entropy) nothing on the next line triggers this
+int unusedSuppression();

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * silo-lint's own tests: every rule R1–R5 gets a positive fixture
+ * (violations found, golden silo-lint-v1 JSON byte-matched), a
+ * negative fixture (clean code stays clean) and a suppressed fixture
+ * (a reasoned allow() turns the error into a counted suppression),
+ * plus S0 coverage of the suppression grammar itself, and — the gate
+ * that matters day-to-day — a self-run asserting the repository lints
+ * clean with zero unsuppressed findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "silo-lint/driver.hh"
+
+namespace silo::lint
+{
+namespace
+{
+
+const std::string fixtures =
+    std::string(SILO_TEST_DIR) + "/tools/fixtures";
+const std::string goldens =
+    std::string(SILO_TEST_DIR) + "/tools/golden";
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** Lint one fixture directory restricted to the named files. */
+Result
+lintFixture(const std::string &rel_root,
+            std::vector<std::string> files)
+{
+    Options opts;
+    opts.root = fixtures + "/" + rel_root;
+    opts.files = std::move(files);
+    return runLint(opts);
+}
+
+/** Compare a fixture result against its checked-in golden JSON. */
+void
+expectMatchesGolden(const Result &result, const std::string &name)
+{
+    std::string golden = slurp(goldens + "/" + name + ".json");
+    ASSERT_FALSE(golden.empty()) << "missing golden " << name;
+    EXPECT_EQ(toJson(result), golden) << "golden " << name
+                                      << " out of date";
+}
+
+TEST(SiloLintRules, CatalogueCoversR1ToR5)
+{
+    ASSERT_EQ(ruleCatalogue().size(), 5u);
+    EXPECT_EQ(slugForRule("R1"), "nondet-iteration");
+    EXPECT_EQ(slugForRule("nondet-iteration"), "nondet-iteration");
+    EXPECT_EQ(slugForRule("R5"), "stats-names");
+    EXPECT_EQ(slugForRule("not-a-rule"), "");
+}
+
+TEST(SiloLintR1, PositiveFindsRangeForAndIteratorWalk)
+{
+    Result r = lintFixture("r1", {"positive.cc"});
+    EXPECT_EQ(r.errors, 2u);
+    EXPECT_EQ(r.suppressed, 0u);
+    for (const Finding &f : r.findings)
+        EXPECT_EQ(f.rule, "nondet-iteration");
+    expectMatchesGolden(r, "r1_positive");
+}
+
+TEST(SiloLintR1, NegativeLookupAndSentinelStayClean)
+{
+    Result r = lintFixture("r1", {"negative.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SiloLintR1, SuppressedCountsButDoesNotFail)
+{
+    Result r = lintFixture("r1", {"suppressed.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    ASSERT_EQ(r.suppressed, 1u);
+    EXPECT_TRUE(r.findings[0].suppressed);
+    EXPECT_EQ(r.findings[0].reason,
+              "order-insensitive count accumulation");
+    expectMatchesGolden(r, "r1_suppressed");
+}
+
+TEST(SiloLintR2, PositiveFindsWallClockAndRawGetenv)
+{
+    Result r = lintFixture("r2", {"positive.cc"});
+    EXPECT_EQ(r.errors, 2u);
+    expectMatchesGolden(r, "r2_positive");
+}
+
+TEST(SiloLintR2, NegativeDeterministicCodeStaysClean)
+{
+    Result r = lintFixture("r2", {"negative.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SiloLintR2, SuppressedShimIsAllowed)
+{
+    Result r = lintFixture("r2", {"suppressed.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(SiloLintR3, PositiveFlagsBothDirections)
+{
+    Result r = lintFixture("r3/positive", {"code.cc"});
+    EXPECT_EQ(r.errors, 2u);
+    bool undocumented = false, orphan = false;
+    for (const Finding &f : r.findings) {
+        EXPECT_EQ(f.rule, "env-doc-parity");
+        // Match without the SILO_ prefix so these literals don't
+        // register as env-var references in our own self-run.
+        if (f.message.find("UNDOCUMENTED_KNOB") != std::string::npos)
+            undocumented = true;
+        if (f.message.find("ORPHAN_KNOB") != std::string::npos)
+            orphan = true;
+    }
+    EXPECT_TRUE(undocumented) << "code->doc direction missing";
+    EXPECT_TRUE(orphan) << "doc->code direction missing";
+    expectMatchesGolden(r, "r3_positive");
+}
+
+TEST(SiloLintR3, NegativeParityStaysClean)
+{
+    Result r = lintFixture("r3/negative", {"code.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SiloLintR3, SuppressedOnBothSides)
+{
+    // Code side via the allow() comment, doc side via the text
+    // marker (Markdown has no C++ comment grammar).
+    Result r = lintFixture("r3/suppressed", {"code.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.suppressed, 2u);
+    expectMatchesGolden(r, "r3_suppressed");
+}
+
+TEST(SiloLintR4, PositiveFindsNegativeDelayAndDefaultCapture)
+{
+    Result r = lintFixture("r4", {"positive.cc"});
+    EXPECT_EQ(r.errors, 2u);
+    bool negative = false, capture = false;
+    for (const Finding &f : r.findings) {
+        EXPECT_EQ(f.rule, "handler-hygiene");
+        if (f.message.find("negative delay") != std::string::npos)
+            negative = true;
+        if (f.message.find("default capture") != std::string::npos)
+            capture = true;
+    }
+    EXPECT_TRUE(negative);
+    EXPECT_TRUE(capture);
+    expectMatchesGolden(r, "r4_positive");
+}
+
+TEST(SiloLintR4, NegativeExplicitCaptureStaysClean)
+{
+    Result r = lintFixture("r4", {"negative.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SiloLintR4, SuppressedDefaultCaptureIsAllowed)
+{
+    Result r = lintFixture("r4", {"suppressed.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(SiloLintR5, PositiveFindsBadNameAndDuplicate)
+{
+    Result r = lintFixture("r5", {"positive.cc"});
+    EXPECT_EQ(r.errors, 2u);
+    bool bad = false, dup = false;
+    for (const Finding &f : r.findings) {
+        EXPECT_EQ(f.rule, "stats-names");
+        if (f.message.find("not a valid silo-stats-v1 key") !=
+            std::string::npos)
+            bad = true;
+        if (f.message.find("duplicate stat name") != std::string::npos)
+            dup = true;
+    }
+    EXPECT_TRUE(bad);
+    EXPECT_TRUE(dup);
+    expectMatchesGolden(r, "r5_positive");
+}
+
+TEST(SiloLintR5, NegativeUniqueValidNamesStayClean)
+{
+    Result r = lintFixture("r5", {"negative.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SiloLintR5, SuppressedLegacyNameIsAllowed)
+{
+    Result r = lintFixture("r5", {"suppressed.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(SiloLintS0, SuppressionGrammarIsItselfLinted)
+{
+    Result r = lintFixture("s0", {"positive.cc"});
+    EXPECT_EQ(r.errors, 3u);
+    int missing_reason = 0, unknown_rule = 0, unused = 0;
+    for (const Finding &f : r.findings) {
+        EXPECT_EQ(f.code, "S0");
+        if (f.message.find("must carry a reason") != std::string::npos)
+            ++missing_reason;
+        if (f.message.find("unknown rule") != std::string::npos)
+            ++unknown_rule;
+        if (f.message.find("unused suppression") != std::string::npos)
+            ++unused;
+    }
+    EXPECT_EQ(missing_reason, 1);
+    EXPECT_EQ(unknown_rule, 1);
+    EXPECT_EQ(unused, 1);
+    expectMatchesGolden(r, "s0_positive");
+}
+
+TEST(SiloLintJson, SchemaAndEscaping)
+{
+    Result r = lintFixture("r1", {"positive.cc"});
+    std::string json = toJson(r);
+    EXPECT_NE(json.find("\"schema\": \"silo-lint-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+}
+
+/**
+ * The gate: the repository itself must lint clean. Any new finding is
+ * either a real determinism/persistency hazard to fix or needs an
+ * explicit allow() carrying a reason.
+ */
+TEST(SiloLintSelfRun, RepositoryHasZeroUnsuppressedFindings)
+{
+    Options opts;
+    opts.root = SILO_REPO_ROOT;
+    Result r = runLint(opts);
+    EXPECT_GE(r.filesScanned, 100u)
+        << "self-run scanned suspiciously few files — wrong root?";
+    for (const Finding &f : r.findings) {
+        if (!f.suppressed)
+            ADD_FAILURE() << f.file << ":" << f.line << " [" << f.code
+                          << " " << f.rule << "] " << f.message;
+    }
+    EXPECT_EQ(r.errors, 0u);
+}
+
+} // namespace
+} // namespace silo::lint

@@ -1,0 +1,365 @@
+#include "silo-lint/driver.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace silo::lint
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** One parsed `silo-lint: allow*(...)` directive. */
+struct Directive
+{
+    std::string file;
+    int line = 0;
+    std::string rule;     //!< canonical slug; empty when unknown
+    std::string rawRule;  //!< as written (for diagnostics)
+    std::string reason;
+    bool fileLevel = false;
+    bool malformed = false;
+    std::string problem;
+    bool used = false;
+};
+
+std::string
+trimmed(std::string s)
+{
+    auto ws = [](char c) {
+        return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    };
+    while (!s.empty() && ws(s.front()))
+        s.erase(s.begin());
+    while (!s.empty() && ws(s.back()))
+        s.pop_back();
+    return s;
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream is(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(std::move(cur));
+    return lines;
+}
+
+/** Parse every directive out of one file's comment tokens. */
+void
+parseDirectives(const SourceFile &file, std::vector<Directive> &out)
+{
+    static const std::string marker = "silo-lint:";
+    for (const Token &tok : file.tokens) {
+        if (tok.kind != TokKind::Comment)
+            continue;
+        std::size_t pos = tok.text.find(marker);
+        if (pos == std::string::npos)
+            continue;
+        Directive d;
+        d.file = file.path;
+        d.line = tok.line;
+        std::string rest = trimmed(tok.text.substr(pos + marker.size()));
+        bool file_level = rest.rfind("allowfile(", 0) == 0;
+        bool line_level = rest.rfind("allow(", 0) == 0;
+        if (!file_level && !line_level) {
+            d.malformed = true;
+            d.problem = "expected allow(<rule>) or allowfile(<rule>)";
+            out.push_back(std::move(d));
+            continue;
+        }
+        d.fileLevel = file_level;
+        std::size_t open = rest.find('(');
+        std::size_t close = rest.find(')', open);
+        if (close == std::string::npos) {
+            d.malformed = true;
+            d.problem = "unterminated rule list";
+            out.push_back(std::move(d));
+            continue;
+        }
+        d.rawRule = trimmed(rest.substr(open + 1, close - open - 1));
+        d.rule = slugForRule(d.rawRule);
+        d.reason = trimmed(rest.substr(close + 1));
+        // Multi-line block comments: the reason is the first line.
+        std::size_t nl = d.reason.find('\n');
+        if (nl != std::string::npos)
+            d.reason = trimmed(d.reason.substr(0, nl));
+        if (d.rule.empty()) {
+            d.malformed = true;
+            d.problem = "unknown rule '" + d.rawRule + "'";
+        } else if (d.reason.empty()) {
+            d.malformed = true;
+            d.problem = "suppression of " + d.rawRule +
+                        " must carry a reason";
+        }
+        out.push_back(std::move(d));
+    }
+}
+
+void
+collectSources(const fs::path &root, const Options &opts,
+               std::vector<fs::path> &sources)
+{
+    auto wanted = [](const fs::path &p) {
+        std::string ext = p.extension().string();
+        return ext == ".cc" || ext == ".hh";
+    };
+    auto in_fixtures = [](const fs::path &p) {
+        for (const auto &part : p)
+            if (part == "fixtures")
+                return true;
+        return false;
+    };
+    if (!opts.files.empty()) {
+        for (const std::string &f : opts.files)
+            sources.push_back(root / f);
+        return;
+    }
+    std::vector<fs::path> dirs;
+    for (const char *d : {"src", "bench", "tests"})
+        if (fs::is_directory(root / d))
+            dirs.push_back(root / d);
+    if (dirs.empty())
+        dirs.push_back(root);
+    for (const fs::path &dir : dirs) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            if (entry.is_regular_file() && wanted(entry.path()) &&
+                !in_fixtures(entry.path()))
+                sources.push_back(entry.path());
+        }
+    }
+}
+
+void
+collectBuildFiles(const fs::path &root, const Options &opts,
+                  std::vector<fs::path> &build_files)
+{
+    if (!opts.files.empty())
+        return;   // explicit-file runs lint just those sources
+    if (fs::is_regular_file(root / "CMakeLists.txt"))
+        build_files.push_back(root / "CMakeLists.txt");
+    for (const char *d : {"src", "bench", "tests", "tools"}) {
+        if (!fs::is_directory(root / d))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(root / d)) {
+            if (!entry.is_regular_file())
+                continue;
+            const fs::path &p = entry.path();
+            if (p.filename() == "CMakeLists.txt" ||
+                p.extension() == ".cmake")
+                build_files.push_back(p);
+        }
+    }
+}
+
+} // namespace
+
+Result
+runLint(const Options &opts)
+{
+    fs::path root(opts.root);
+
+    std::vector<fs::path> source_paths;
+    collectSources(root, opts, source_paths);
+    std::sort(source_paths.begin(), source_paths.end());
+
+    std::vector<SourceFile> files;
+    files.reserve(source_paths.size());
+    for (const fs::path &p : source_paths) {
+        SourceFile f;
+        f.path = fs::relative(p, root).generic_string();
+        f.tokens = lex(readFile(p));
+        for (const Token &tok : f.tokens)
+            if (tok.kind != TokKind::Comment)
+                f.code.push_back(tok);
+        files.push_back(std::move(f));
+    }
+
+    std::vector<fs::path> build_paths;
+    collectBuildFiles(root, opts, build_paths);
+    std::sort(build_paths.begin(), build_paths.end());
+    std::vector<TextFile> build_files;
+    for (const fs::path &p : build_paths) {
+        build_files.push_back({fs::relative(p, root).generic_string(),
+                               splitLines(readFile(p))});
+    }
+
+    std::vector<std::string> doc_names = opts.docs;
+    if (opts.defaultDocs) {
+        for (const char *d : {"README.md", "DESIGN.md"})
+            if (fs::is_regular_file(root / d))
+                doc_names.push_back(d);
+    }
+    std::vector<TextFile> docs;
+    for (const std::string &d : doc_names)
+        docs.push_back({d, splitLines(readFile(root / d))});
+
+    std::vector<Finding> findings;
+    std::vector<Directive> directives;
+    for (const SourceFile &f : files) {
+        runNondetIteration(f, findings);
+        runAmbientEntropy(f, findings);
+        runHandlerHygiene(f, findings);
+        runStatsNames(f, findings);
+        parseDirectives(f, directives);
+    }
+    runEnvDocParity(files, build_files, docs, findings);
+
+    // Apply suppressions: a directive covers findings of its rule in
+    // its file — on its own or the following line for allow(), or
+    // anywhere for allowfile().
+    for (Finding &f : findings) {
+        if (f.suppressed)
+            continue;   // R3 text-marker suppressions arrive pre-set
+        for (Directive &d : directives) {
+            if (d.malformed || d.file != f.file || d.rule != f.rule)
+                continue;
+            if (!d.fileLevel &&
+                !(d.line == f.line || d.line == f.line - 1))
+                continue;
+            f.suppressed = true;
+            f.reason = d.reason;
+            d.used = true;
+            break;
+        }
+    }
+
+    // Directives are themselves linted: malformed or unmatched ones
+    // are findings, so the suppression surface stays auditable.
+    for (const Directive &d : directives) {
+        if (d.malformed) {
+            findings.push_back({d.file, d.line, "S0", "suppression",
+                                "malformed silo-lint directive: " +
+                                    d.problem,
+                                false, ""});
+        } else if (!d.used) {
+            findings.push_back({d.file, d.line, "S0", "suppression",
+                                "unused suppression for " + d.rawRule +
+                                    " — nothing on this or the next "
+                                    "line triggers it",
+                                false, ""});
+        }
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.code, a.message) <
+                         std::tie(b.file, b.line, b.code, b.message);
+              });
+
+    Result result;
+    result.findings = std::move(findings);
+    result.filesScanned = files.size();
+    for (const Finding &f : result.findings) {
+        if (f.suppressed)
+            ++result.suppressed;
+        else
+            ++result.errors;
+    }
+    return result;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const Result &result)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"silo-lint-v1\",\n";
+    os << "  \"summary\": {\"files_scanned\": " << result.filesScanned
+       << ", \"errors\": " << result.errors
+       << ", \"suppressed\": " << result.suppressed << "},\n";
+    os << "  \"findings\": [";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding &f = result.findings[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\"file\": \"" << jsonEscape(f.file)
+           << "\", \"line\": " << f.line << ", \"code\": \"" << f.code
+           << "\", \"rule\": \"" << f.rule
+           << "\", \"severity\": \"error\", \"suppressed\": "
+           << (f.suppressed ? "true" : "false");
+        if (f.suppressed)
+            os << ", \"reason\": \"" << jsonEscape(f.reason) << "\"";
+        os << ", \"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    os << (result.findings.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+toHuman(const Result &result, bool verbose)
+{
+    std::ostringstream os;
+    for (const Finding &f : result.findings) {
+        if (f.suppressed && !verbose)
+            continue;
+        os << f.file << ":" << f.line << ": "
+           << (f.suppressed ? "allowed" : "error") << " [" << f.code
+           << " " << f.rule << "] " << f.message;
+        if (f.suppressed)
+            os << " (reason: " << f.reason << ")";
+        os << "\n";
+    }
+    os << "silo-lint: " << result.errors << " error(s), "
+       << result.suppressed << " suppressed, " << result.filesScanned
+       << " file(s) scanned\n";
+    return os.str();
+}
+
+} // namespace silo::lint

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * silo-lint driver: file collection, suppression handling, output.
+ *
+ * The driver walks the scanned tree (src/, bench/ and tests/ under
+ * the root by default, or an explicit file list), lexes every C++
+ * source, runs the R1–R5 matchers (rules.hh), applies the suppression
+ * grammar and serializes the result as a human report or the
+ * `silo-lint-v1` JSON document.
+ *
+ * Suppression grammar (DESIGN.md §4f):
+ *
+ *     // silo-lint: allow(<rule>) <reason>        one finding, on the
+ *                                                 same or next line
+ *     // silo-lint: allowfile(<rule>) <reason>    whole file
+ *
+ * `<rule>` is a code ("R1") or slug ("nondet-iteration"); the reason
+ * is mandatory. Suppressed findings stay in the report (marked and
+ * counted), and a suppression that matches nothing is itself a
+ * finding, so stale allowances cannot accumulate.
+ */
+
+#ifndef SILO_LINT_DRIVER_HH
+#define SILO_LINT_DRIVER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "silo-lint/rules.hh"
+
+namespace silo::lint
+{
+
+struct Options
+{
+    /** Scan root; findings are reported root-relative. */
+    std::string root = ".";
+    /**
+     * Explicit files to scan (root-relative). Empty scans the
+     * default directories (src/, bench/, tests/; the whole root when
+     * none of those exists, which is what the fixture tests use).
+     * Directories named "fixtures" are always skipped: they hold
+     * deliberate rule violations for silo-lint's own tests.
+     */
+    std::vector<std::string> files;
+    /** Extra documentation files for R3 (root-relative). */
+    std::vector<std::string> docs;
+    /** Include root README.md / DESIGN.md in the R3 docs set. */
+    bool defaultDocs = true;
+};
+
+struct Result
+{
+    /** All findings, sorted (file, line, code), suppressed included. */
+    std::vector<Finding> findings;
+    std::size_t filesScanned = 0;
+    std::size_t errors = 0;       //!< unsuppressed findings
+    std::size_t suppressed = 0;   //!< findings silenced with a reason
+};
+
+/** Run every rule over the tree described by @p opts. */
+Result runLint(const Options &opts);
+
+/** Serialize @p result as the silo-lint-v1 JSON document. */
+std::string toJson(const Result &result);
+
+/**
+ * Human-readable report: one line per unsuppressed finding (plus
+ * suppressed ones when @p verbose) and a summary line.
+ */
+std::string toHuman(const Result &result, bool verbose = false);
+
+} // namespace silo::lint
+
+#endif // SILO_LINT_DRIVER_HH

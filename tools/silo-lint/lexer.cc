@@ -1,0 +1,186 @@
+#include "silo-lint/lexer.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace silo::lint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Encoding prefixes that may glue onto a string or char literal. */
+bool
+literalPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "L" || ident == "u" ||
+           ident == "U" || ident == "u8" || ident == "LR" ||
+           ident == "uR" || ident == "UR" || ident == "u8R";
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto peek = [&](std::size_t k) -> char {
+        return i + k < n ? src[i + k] : '\0';
+    };
+
+    // Consume a "..." literal at src[i]; returns the body. Tracks
+    // newlines (only raw strings may legally contain them).
+    auto lexQuoted = [&](char quote) -> std::string {
+        std::size_t start = ++i;   // past the opening quote
+        while (i < n && src[i] != quote) {
+            if (src[i] == '\\' && i + 1 < n)
+                ++i;
+            if (src[i] == '\n')
+                ++line;
+            ++i;
+        }
+        std::string body = src.substr(start, i - start);
+        if (i < n)
+            ++i;   // closing quote
+        return body;
+    };
+
+    // Consume a raw string R"delim(...)delim" with i at the opening
+    // quote; returns the body between the parentheses.
+    auto lexRawString = [&]() -> std::string {
+        ++i;   // past the quote
+        std::string delim;
+        while (i < n && src[i] != '(')
+            delim += src[i++];
+        if (i < n)
+            ++i;   // '('
+        std::string close = ")" + delim + "\"";
+        std::size_t end = src.find(close, i);
+        if (end == std::string::npos)
+            end = n;
+        std::string body = src.substr(i, end - i);
+        line += int(std::count(body.begin(), body.end(), '\n'));
+        i = std::min(n, end + close.size());
+        return body;
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            std::size_t start = i + 2;
+            while (i < n && src[i] != '\n')
+                ++i;
+            out.push_back({TokKind::Comment,
+                           src.substr(start, i - start), line});
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            int start_line = line;
+            std::size_t start = i + 2;
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            std::size_t end = i + 1 < n ? i : n;
+            out.push_back({TokKind::Comment,
+                           src.substr(start, end - start), start_line});
+            i = std::min(n, i + 2);
+            continue;
+        }
+        if (identStart(c)) {
+            std::size_t start = i;
+            int start_line = line;
+            while (i < n && identChar(src[i]))
+                ++i;
+            std::string ident = src.substr(start, i - start);
+            if (i < n && src[i] == '"' && literalPrefix(ident)) {
+                std::string body = ident.back() == 'R'
+                                       ? lexRawString()
+                                       : lexQuoted('"');
+                out.push_back({TokKind::String, std::move(body),
+                               start_line});
+            } else if (i < n && src[i] == '\'' &&
+                       literalPrefix(ident)) {
+                out.push_back({TokKind::CharLit, lexQuoted('\''),
+                               start_line});
+            } else {
+                out.push_back({TokKind::Identifier, std::move(ident),
+                               start_line});
+            }
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::size_t start = i;
+            while (i < n) {
+                char d = src[i];
+                if (identChar(d) || d == '.' || d == '\'') {
+                    // Exponents carry a sign: 1e+5, 0x1p-3.
+                    if ((d == 'e' || d == 'E' || d == 'p' ||
+                         d == 'P') &&
+                        (peek(1) == '+' || peek(1) == '-')) {
+                        i += 2;
+                        continue;
+                    }
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            out.push_back({TokKind::Number, src.substr(start, i - start),
+                           line});
+            continue;
+        }
+        if (c == '"') {
+            int start_line = line;
+            out.push_back({TokKind::String, lexQuoted('"'),
+                           start_line});
+            continue;
+        }
+        if (c == '\'') {
+            int start_line = line;
+            out.push_back({TokKind::CharLit, lexQuoted('\''),
+                           start_line});
+            continue;
+        }
+        if (c == ':' && peek(1) == ':') {
+            out.push_back({TokKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        out.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+} // namespace silo::lint

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for silo-lint.
+ *
+ * Produces a flat token stream (identifiers, numbers, string/char
+ * literals, punctuation, comments) with line numbers. It is not a
+ * preprocessor or a parser: preprocessor directives lex as ordinary
+ * punctuation + identifiers, which is sufficient for the pattern
+ * matchers in rules.cc. Comments are kept as tokens because the
+ * suppression grammar (`// silo-lint: allow(rule) reason`) lives in
+ * them; string literals keep their uninterpreted body so rules can
+ * scan for referenced environment variables.
+ */
+
+#ifndef SILO_LINT_LEXER_HH
+#define SILO_LINT_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace silo::lint
+{
+
+enum class TokKind
+{
+    Identifier,
+    Number,
+    String,     //!< text = literal body without quotes/prefix
+    CharLit,    //!< text = literal body without quotes
+    Punct,      //!< text = the operator ("::" fused, others one char)
+    Comment,    //!< text = body without the comment markers
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line;   //!< 1-based line of the token's first character
+};
+
+/** Tokenize @p src (one translation unit's raw bytes). */
+std::vector<Token> lex(const std::string &src);
+
+} // namespace silo::lint
+
+#endif // SILO_LINT_LEXER_HH

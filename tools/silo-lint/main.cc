@@ -1,0 +1,98 @@
+/**
+ * @file
+ * silo-lint CLI.
+ *
+ * Usage:
+ *   silo-lint [--root DIR] [--json[=PATH]] [--doc FILE]...
+ *             [--no-default-docs] [--list-rules] [-v] [FILE...]
+ *
+ * With no FILE arguments, scans src/, bench/ and tests/ under the
+ * root (the repository checkout) plus README.md/DESIGN.md for the R3
+ * parity rule. Exits 0 when the tree is clean (suppressed findings do
+ * not fail the run), 1 on any unsuppressed finding, 2 on usage
+ * errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "silo-lint/driver.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--json[=PATH]] [--doc FILE]"
+                 " [--no-default-docs] [--list-rules] [-v] [FILE...]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    silo::lint::Options opts;
+    bool verbose = false;
+    bool want_json = false;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            opts.root = argv[++i];
+        } else if (arg.rfind("--root=", 0) == 0) {
+            opts.root = arg.substr(7);
+        } else if (arg == "--json") {
+            want_json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            want_json = true;
+            json_path = arg.substr(7);
+        } else if (arg == "--doc" && i + 1 < argc) {
+            opts.docs.push_back(argv[++i]);
+        } else if (arg == "--no-default-docs") {
+            opts.defaultDocs = false;
+        } else if (arg == "-v" || arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--list-rules") {
+            for (const auto &r : silo::lint::ruleCatalogue())
+                std::printf("%s %-18s %s\n", r.code, r.slug,
+                            r.summary);
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            opts.files.push_back(arg);
+        }
+    }
+
+    silo::lint::Result result = silo::lint::runLint(opts);
+
+    if (want_json && (json_path.empty() || json_path == "-")) {
+        std::cout << silo::lint::toJson(result);
+        std::cerr << silo::lint::toHuman(result, verbose);
+    } else {
+        if (want_json) {
+            std::ofstream os(json_path, std::ios::trunc);
+            if (!os) {
+                std::fprintf(stderr,
+                             "silo-lint: cannot write %s\n",
+                             json_path.c_str());
+                return 2;
+            }
+            os << silo::lint::toJson(result);
+        }
+        std::cout << silo::lint::toHuman(result, verbose);
+    }
+    return result.errors ? 1 : 0;
+}

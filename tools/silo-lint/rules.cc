@@ -1,0 +1,521 @@
+#include "silo-lint/rules.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace silo::lint
+{
+
+namespace
+{
+
+/** True for chars valid inside a SILO_* environment-variable name. */
+bool
+envChar(char c)
+{
+    return (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_';
+}
+
+/** Extract every SILO_* variable name embedded in @p text. */
+std::vector<std::string>
+extractEnvVars(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while ((pos = text.find("SILO_", pos)) != std::string::npos) {
+        // Must start a fresh token: "XSILO_Y" is not a reference —
+        // except the "-DSILO_X" spelling of CMake cache options.
+        bool cmake_define = pos >= 2 && text[pos - 1] == 'D' &&
+                            text[pos - 2] == '-';
+        if (pos > 0 && !cmake_define &&
+            (envChar(text[pos - 1]) ||
+             (text[pos - 1] >= 'a' && text[pos - 1] <= 'z'))) {
+            pos += 5;
+            continue;
+        }
+        std::size_t end = pos + 5;
+        while (end < text.size() && envChar(text[end]))
+            ++end;
+        if (end > pos + 5)
+            out.push_back(text.substr(pos, end - pos));
+        pos = end;
+    }
+    return out;
+}
+
+Finding
+make(const SourceFile &file, int line, const char *code,
+     const char *slug, std::string message)
+{
+    return Finding{file.path, line, code, slug, std::move(message),
+                   false, ""};
+}
+
+/** Index of the matching closer for the opener at @p open. */
+std::size_t
+matchDelim(const std::vector<Token> &toks, std::size_t open,
+           const char *opener, const char *closer)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text == opener)
+            ++depth;
+        else if (toks[i].text == closer && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+} // namespace
+
+const std::vector<RuleInfo> &
+ruleCatalogue()
+{
+    static const std::vector<RuleInfo> rules = {
+        {"R1", "nondet-iteration",
+         "no range-for/iterator walk over unordered containers in "
+         "result-affecting code"},
+        {"R2", "ambient-entropy",
+         "no wall clock, ambient randomness or raw getenv outside the "
+         "harness shims"},
+        {"R3", "env-doc-parity",
+         "every SILO_* env var referenced in code is documented in "
+         "README/DESIGN and vice versa"},
+        {"R4", "handler-hygiene",
+         "EventQueue callbacks: no default captures, no owning raw "
+         "pointers, no negative delays"},
+        {"R5", "stats-names",
+         "stats registration names are unique per file and valid "
+         "silo-stats-v1 keys"},
+    };
+    return rules;
+}
+
+std::string
+slugForRule(const std::string &id)
+{
+    for (const RuleInfo &r : ruleCatalogue()) {
+        if (id == r.code || id == r.slug)
+            return r.slug;
+    }
+    return "";
+}
+
+// --- R1: nondeterministic iteration --------------------------------
+
+void
+runNondetIteration(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::vector<Token> &t = file.code;
+    std::set<std::string> unordered_names;
+
+    // Pass 1: names declared with an unordered container type
+    // (members, locals and parameters alike — scoping is per file,
+    // which is as fine-grained as this codebase needs).
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier ||
+            (t[i].text != "unordered_map" &&
+             t[i].text != "unordered_set" &&
+             t[i].text != "unordered_multimap" &&
+             t[i].text != "unordered_multiset"))
+            continue;
+        std::size_t j = i + 1;
+        if (j >= t.size() || t[j].text != "<")
+            continue;   // e.g. the #include line
+        int depth = 0;
+        for (; j < t.size(); ++j) {
+            if (t[j].kind != TokKind::Punct)
+                continue;
+            if (t[j].text == "<")
+                ++depth;
+            else if (t[j].text == ">" && --depth == 0)
+                break;
+        }
+        ++j;
+        if (j < t.size() && t[j].text == "::" && j + 1 < t.size() &&
+            (t[j + 1].text == "iterator" ||
+             t[j + 1].text == "const_iterator")) {
+            out.push_back(make(file, t[j + 1].line, "R1",
+                               "nondet-iteration",
+                               "explicit iterator over " + t[i].text +
+                                   " — iteration order is "
+                                   "nondeterministic"));
+            continue;
+        }
+        while (j < t.size() &&
+               (t[j].text == "&" || t[j].text == "*" ||
+                t[j].text == "&&" || t[j].text == "const"))
+            ++j;
+        if (j < t.size() && t[j].kind == TokKind::Identifier)
+            unordered_names.insert(t[j].text);
+    }
+    if (unordered_names.empty())
+        return;
+
+    // Pass 2a: range-for whose range expression names a tracked
+    // container.
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier || t[i].text != "for" ||
+            t[i + 1].text != "(")
+            continue;
+        std::size_t close = matchDelim(t, i + 1, "(", ")");
+        // The range-for ':' sits at paren depth 1 outside brackets.
+        int depth = 0;
+        std::size_t colon = 0;
+        for (std::size_t j = i + 1; j < close && !colon; ++j) {
+            if (t[j].kind != TokKind::Punct)
+                continue;
+            const std::string &p = t[j].text;
+            if (p == "(" || p == "[" || p == "{")
+                ++depth;
+            else if (p == ")" || p == "]" || p == "}")
+                --depth;
+            else if (p == ":" && depth == 1)
+                colon = j;
+        }
+        if (!colon)
+            continue;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+            if (t[j].kind == TokKind::Identifier &&
+                unordered_names.count(t[j].text)) {
+                out.push_back(make(
+                    file, t[i].line, "R1", "nondet-iteration",
+                    "range-for over unordered container '" +
+                        t[j].text +
+                        "' — iteration order is nondeterministic"));
+                break;
+            }
+        }
+    }
+
+    // Pass 2b: iterator walks spelled via begin()/end().
+    // end()/cend()/rend() are order-neutral sentinels (find() != end()
+    // is fine); only the begin family starts an ordered walk.
+    static const std::set<std::string> iter_fns = {
+        "begin", "cbegin", "rbegin"};
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+        if (t[i].kind == TokKind::Identifier &&
+            unordered_names.count(t[i].text) && t[i + 1].text == "." &&
+            iter_fns.count(t[i + 2].text) && t[i + 3].text == "(") {
+            out.push_back(make(
+                file, t[i].line, "R1", "nondet-iteration",
+                "iterator walk over unordered container '" + t[i].text +
+                    "' via ." + t[i + 2].text + "()"));
+        }
+    }
+}
+
+// --- R2: wall clock / ambient entropy ------------------------------
+
+void
+runAmbientEntropy(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::vector<Token> &t = file.code;
+    static const std::map<std::string, const char *> always = {
+        {"system_clock", "wall-clock read"},
+        {"steady_clock", "wall-clock read"},
+        {"high_resolution_clock", "wall-clock read"},
+        {"clock_gettime", "wall-clock read"},
+        {"gettimeofday", "wall-clock read"},
+        {"random_device", "ambient entropy source"},
+        {"srand", "ambient PRNG seeding"},
+        {"getenv", "raw environment read (use envOr/envStrOr)"},
+    };
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier)
+            continue;
+        auto it = always.find(t[i].text);
+        if (it != always.end()) {
+            out.push_back(make(file, t[i].line, "R2", "ambient-entropy",
+                               std::string(it->second) + ": '" +
+                                   t[i].text +
+                                   "' outside the harness shims"));
+            continue;
+        }
+        bool called = i + 1 < t.size() && t[i + 1].text == "(";
+        if (t[i].text == "rand" && called) {
+            out.push_back(make(file, t[i].line, "R2", "ambient-entropy",
+                               "ambient PRNG: 'rand()' outside the "
+                               "harness shims"));
+        }
+        if (t[i].text == "time" && called) {
+            bool qualified = i > 0 && t[i - 1].text == "::";
+            bool null_arg =
+                i + 2 < t.size() && (t[i + 2].text == "nullptr" ||
+                                     t[i + 2].text == "NULL" ||
+                                     t[i + 2].text == "0");
+            if (qualified || null_arg) {
+                out.push_back(make(file, t[i].line, "R2",
+                                   "ambient-entropy",
+                                   "wall-clock read: 'time()' outside "
+                                   "the harness shims"));
+            }
+        }
+    }
+}
+
+// --- R4: event-handler hygiene -------------------------------------
+
+void
+runHandlerHygiene(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::vector<Token> &t = file.code;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier ||
+            (t[i].text != "schedule" && t[i].text != "scheduleAfter") ||
+            t[i + 1].text != "(")
+            continue;
+        std::size_t close = matchDelim(t, i + 1, "(", ")");
+
+        // Negative first argument: a Tick/Cycles is unsigned, so a
+        // negative literal or negated expression wraps to a huge
+        // delay instead of failing loudly.
+        if (i + 2 < close && t[i + 2].text == "-") {
+            out.push_back(make(file, t[i + 2].line, "R4",
+                               "handler-hygiene",
+                               "negative delay passed to " + t[i].text +
+                                   "() — Tick is unsigned and wraps"));
+        }
+
+        // Lambda arguments: inspect each capture list.
+        for (std::size_t j = i + 2; j < close; ++j) {
+            if (t[j].kind != TokKind::Punct || t[j].text != "[")
+                continue;
+            const std::string &prev = t[j - 1].text;
+            if (prev != "(" && prev != ",")
+                continue;   // subscript, not a lambda introducer
+            std::size_t cap_close = matchDelim(t, j, "[", "]");
+            if (cap_close >= close)
+                continue;
+            std::vector<const Token *> caps;
+            for (std::size_t k = j + 1; k < cap_close; ++k)
+                caps.push_back(&t[k]);
+            auto flag = [&](int line, const std::string &msg) {
+                out.push_back(make(file, line, "R4", "handler-hygiene",
+                                   msg));
+            };
+            if (!caps.empty() &&
+                (caps[0]->text == "&" || caps[0]->text == "=") &&
+                (caps.size() == 1 || caps[1]->text == ",")) {
+                flag(caps[0]->line,
+                     "default capture [" + caps[0]->text +
+                         "...] in a deferred event callback — capture "
+                         "explicitly so lifetimes are auditable");
+            }
+            for (std::size_t k = 0; k < caps.size(); ++k) {
+                if (caps[k]->kind != TokKind::Identifier)
+                    continue;
+                if (caps[k]->text == "new") {
+                    flag(caps[k]->line,
+                         "owning raw pointer allocated in an event-"
+                         "callback capture — leaks if the event never "
+                         "runs (queue reset/crash injection)");
+                } else if (caps[k]->text == "release" &&
+                           k + 1 < caps.size() &&
+                           caps[k + 1]->text == "(") {
+                    flag(caps[k]->line,
+                         "release() in an event-callback capture "
+                         "transfers raw ownership into the queue — "
+                         "leaks if the event never runs");
+                }
+            }
+            j = cap_close;
+        }
+        i = close;
+    }
+}
+
+// --- R5: stats registration names ----------------------------------
+
+void
+runStatsNames(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::vector<Token> &t = file.code;
+    std::map<std::string, int> seen;   // stat name -> first line
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier || t[i].text != "stats" ||
+            t[i + 1].text != "::")
+            continue;
+        const std::string &type = t[i + 2].text;
+        bool named_stat = type == "Scalar" || type == "Average" ||
+                          type == "Distribution";
+        if (!named_stat && type != "StatGroup")
+            continue;
+        std::size_t j = i + 3;
+        while (j < t.size() && (t[j].text == "&" || t[j].text == "*"))
+            ++j;
+        if (j + 2 >= t.size() || t[j].kind != TokKind::Identifier)
+            continue;   // not a declaration with an initializer
+        if (t[j + 1].text != "{" && t[j + 1].text != "(")
+            continue;
+        if (t[j + 2].kind != TokKind::String)
+            continue;
+        const std::string &name = t[j + 2].text;
+        int line = t[j + 2].line;
+        bool valid = !name.empty() && name[0] >= 'a' && name[0] <= 'z';
+        for (char c : name) {
+            if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_'))
+                valid = false;
+        }
+        if (!valid) {
+            out.push_back(make(
+                file, line, "R5", "stats-names",
+                "stat name \"" + name +
+                    "\" is not a valid silo-stats-v1 key "
+                    "([a-z][a-z0-9_]*)"));
+        }
+        if (named_stat) {
+            auto [it, inserted] = seen.emplace(name, line);
+            if (!inserted) {
+                out.push_back(make(
+                    file, line, "R5", "stats-names",
+                    "duplicate stat name \"" + name +
+                        "\" (first registered at line " +
+                        std::to_string(it->second) +
+                        ") — the JSON export would collapse them"));
+            }
+        }
+    }
+}
+
+// --- R3: env var <-> documentation parity --------------------------
+
+namespace
+{
+
+/** First (file, line) reference of each variable. */
+using RefMap = std::map<std::string, std::pair<std::string, int>>;
+
+void
+note(RefMap &refs, const std::string &var, const std::string &file,
+     int line)
+{
+    auto it = refs.find(var);
+    if (it == refs.end()) {
+        refs.emplace(var, std::make_pair(file, line));
+        return;
+    }
+    if (std::make_pair(file, line) < it->second)
+        it->second = {file, line};
+}
+
+/**
+ * Inline suppression for text files (docs and build scripts), where
+ * the C++ comment grammar does not apply: the marker
+ * `silo-lint: allow(env-doc-parity) reason` on the finding's line or
+ * the line above. @return true (and fills @p reason) when present.
+ */
+bool
+textSuppressed(const TextFile &f, int line, std::string &reason)
+{
+    static const std::string marker = "silo-lint: allow(env-doc-parity)";
+    for (int l : {line, line - 1}) {
+        if (l < 1 || std::size_t(l) > f.lines.size())
+            continue;
+        std::size_t pos = f.lines[l - 1].find(marker);
+        if (pos == std::string::npos)
+            continue;
+        reason = f.lines[l - 1].substr(pos + marker.size());
+        // Trim delimiters a comment closer may leave behind.
+        while (!reason.empty() &&
+               (reason.front() == ' ' || reason.front() == '\t'))
+            reason.erase(reason.begin());
+        std::size_t close = reason.find("-->");
+        if (close != std::string::npos)
+            reason = reason.substr(0, close);
+        while (!reason.empty() &&
+               (reason.back() == ' ' || reason.back() == '\t'))
+            reason.pop_back();
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+runEnvDocParity(const std::vector<SourceFile> &files,
+                const std::vector<TextFile> &build_files,
+                const std::vector<TextFile> &docs,
+                std::vector<Finding> &out)
+{
+    if (docs.empty())
+        return;   // nothing to check parity against
+
+    RefMap code_refs;
+    for (const SourceFile &f : files) {
+        for (const Token &tok : f.code) {
+            if (tok.kind != TokKind::String)
+                continue;
+            for (const std::string &var : extractEnvVars(tok.text))
+                note(code_refs, var, f.path, tok.line);
+        }
+    }
+    // Build-system knobs (option()/CACHE variables) count as code:
+    // SILO_SANITIZE and SILO_WERROR are user-facing like env vars.
+    for (const TextFile &f : build_files) {
+        for (std::size_t l = 0; l < f.lines.size(); ++l) {
+            const std::string &ln = f.lines[l];
+            if (ln.find("option(") == std::string::npos &&
+                ln.find("CACHE") == std::string::npos)
+                continue;
+            for (const std::string &var : extractEnvVars(ln))
+                note(code_refs, var, f.path, int(l + 1));
+        }
+    }
+
+    RefMap doc_refs;
+    for (const TextFile &f : docs) {
+        for (std::size_t l = 0; l < f.lines.size(); ++l) {
+            for (const std::string &var : extractEnvVars(f.lines[l]))
+                note(doc_refs, var, f.path, int(l + 1));
+        }
+    }
+
+    std::string doc_names;
+    for (const TextFile &f : docs)
+        doc_names += (doc_names.empty() ? "" : "/") + f.path;
+
+    for (const auto &[var, site] : code_refs) {
+        if (doc_refs.count(var))
+            continue;
+        Finding f{site.first, site.second, "R3", "env-doc-parity",
+                  "env var " + var + " is referenced here but not "
+                  "documented in " + doc_names, false, ""};
+        // Build-file sites use the text-marker suppression; source
+        // files go through the driver's comment-based mechanism.
+        for (const TextFile &bf : build_files) {
+            std::string reason;
+            if (bf.path == site.first &&
+                textSuppressed(bf, site.second, reason)) {
+                f.suppressed = true;
+                f.reason = reason;
+            }
+        }
+        out.push_back(std::move(f));
+    }
+    for (const auto &[var, site] : doc_refs) {
+        if (code_refs.count(var))
+            continue;
+        Finding f{site.first, site.second, "R3", "env-doc-parity",
+                  "env var " + var + " is documented here but never "
+                  "referenced in the scanned sources", false, ""};
+        for (const TextFile &df : docs) {
+            std::string reason;
+            if (df.path == site.first &&
+                textSuppressed(df, site.second, reason)) {
+                f.suppressed = true;
+                f.reason = reason;
+            }
+        }
+        out.push_back(std::move(f));
+    }
+}
+
+} // namespace silo::lint

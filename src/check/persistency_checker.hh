@@ -45,9 +45,9 @@
 #include <string>
 #include <vector>
 
-#include "check/event_sink.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/persist_event_sink.hh"
 #include "sim/word_store.hh"
 
 namespace silo::log
@@ -97,7 +97,7 @@ struct CheckerCounters
 };
 
 /** Online durability-invariant checker (see file header). */
-class PersistencyChecker : public PersistEventSink
+class PersistencyChecker : public log::PersistEventSink
 {
   public:
     PersistencyChecker(const SimConfig &cfg, const EventQueue &eq);
@@ -117,15 +117,16 @@ class PersistencyChecker : public PersistEventSink
 
     /** Silo appended an undo entry to the battery-backed log buffer. */
     void noteBatteryUndo(unsigned core, std::uint16_t txid, Addr addr,
-                         Word old_val);
+                         Word old_val) override;
     /** MorLog appended an undo entry to its ADR-domain MC buffer. */
     void noteAdrUndo(unsigned core, std::uint16_t txid, Addr addr,
-                     Word old_val);
+                     Word old_val) override;
     /** Silo set an entry's flush-bit (claims ADR has @p new_data). */
     void noteFlushBit(unsigned core, std::uint16_t txid, Addr addr,
-                      Word new_data);
+                      Word new_data) override;
     /** A record entered the MC's ADR log path (durable, pre-accept). */
-    void onLogInFlight(Addr rec_addr, const log::LogRecord &record);
+    void onLogInFlight(Addr rec_addr,
+                       const log::LogRecord &record) override;
     /// @}
 
     /** @name PersistEventSink (memory-system events) */

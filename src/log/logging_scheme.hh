@@ -19,18 +19,14 @@
 #include <memory>
 #include <ostream>
 
-#include "log/log_region.hh"
 #include "mc/mc_router.hh"
 #include "mem/hierarchy.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/log_region.hh"
+#include "sim/persist_event_sink.hh"
 #include "sim/tracer.hh"
 #include "sim/word_store.hh"
-
-namespace silo::check
-{
-class PersistencyChecker;
-} // namespace silo::check
 
 namespace silo::log
 {
@@ -49,10 +45,12 @@ struct SchemeContext
     /** Write an architectural word (software-logging schemes store
      *  log content through the cache like ordinary data). */
     std::function<void(Addr, Word)> setValue;
-    /** Persistency checker, or nullptr when SimConfig::checker is off.
-     *  Schemes report battery/ADR-structure state through it (src/check
-     *  invariant 1's on-chip coverage sources). */
-    check::PersistencyChecker *checker = nullptr;
+    /** Persistency-event sink (the checker), or nullptr when
+     *  SimConfig::checker is off. Schemes report battery/ADR-structure
+     *  state through it (src/check invariant 1's on-chip coverage
+     *  sources); the abstract interface keeps the scheme layer below
+     *  src/check in the module DAG (DESIGN.md §4g). */
+    PersistEventSink *checker = nullptr;
 };
 
 /** Common per-scheme statistics. */
@@ -194,9 +192,13 @@ class LoggingScheme
     /**
      * Tell the checker a record entered the MC's ADR log path (it is
      * durable from this point even though no WPQ slot accepted it yet).
-     * Out of line so the header needs no checker definition.
      */
-    void noteInFlightLog(Addr addr, const LogRecord &record);
+    void
+    noteInFlightLog(Addr addr, const LogRecord &record)
+    {
+        if (_ctx.checker)
+            _ctx.checker->onLogInFlight(addr, record);
+    }
 
     /** Crash path: make every in-flight log record durable. */
     void

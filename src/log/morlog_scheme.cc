@@ -1,6 +1,5 @@
 #include "log/morlog_scheme.hh"
 
-#include "check/persistency_checker.hh"
 #include "log/wal_recovery.hh"
 
 namespace silo::log

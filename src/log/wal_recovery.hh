@@ -12,7 +12,7 @@
 #ifndef SILO_LOG_WAL_RECOVERY_HH
 #define SILO_LOG_WAL_RECOVERY_HH
 
-#include "log/log_region.hh"
+#include "sim/log_region.hh"
 #include "sim/word_store.hh"
 
 namespace silo::log

@@ -98,7 +98,7 @@ class McRouter
 
     /** Register the persistency checker with every controller. */
     void
-    setCheckSink(check::PersistEventSink *sink)
+    setCheckSink(log::PersistEventSink *sink)
     {
         for (auto &mc : _mcs)
             mc->setCheckSink(sink);

@@ -22,11 +22,11 @@
 #include <deque>
 #include <functional>
 
-#include "check/event_sink.hh"
-#include "log/log_region.hh"
 #include "nvm/pm_device.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/log_region.hh"
+#include "sim/persist_event_sink.hh"
 #include "sim/stats.hh"
 #include "sim/tracer.hh"
 
@@ -104,7 +104,7 @@ class MemController
      * held-release, and crash-discard events are reported to it before
      * any scheme observer runs.
      */
-    void setCheckSink(check::PersistEventSink *sink) { _check = sink; }
+    void setCheckSink(log::PersistEventSink *sink) { _check = sink; }
 
     /**
      * Crash: ADR drains every non-held entry into the media and the
@@ -174,7 +174,7 @@ class MemController
     std::deque<WpqEntry> _wpq;
     std::deque<std::function<void()>> _writeWaiters;
     std::function<void(Addr)> _evictionObserver;
-    check::PersistEventSink *_check = nullptr;
+    log::PersistEventSink *_check = nullptr;
     unsigned _heldCount = 0;
     bool _drainScheduled = false;
 

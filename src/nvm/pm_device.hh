@@ -21,9 +21,9 @@
 #include <functional>
 #include <vector>
 
-#include "check/event_sink.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/persist_event_sink.hh"
 #include "sim/stats.hh"
 #include "sim/tracer.hh"
 #include "sim/word_store.hh"
@@ -77,7 +77,7 @@ class PmDevice
     const WordStore &media() const { return _media; }
 
     /** Register the persistency checker (nullptr when disabled). */
-    void setCheckSink(check::PersistEventSink *sink) { _check = sink; }
+    void setCheckSink(log::PersistEventSink *sink) { _check = sink; }
 
     /** @name Statistics */
     /// @{
@@ -161,7 +161,7 @@ class PmDevice
     std::vector<Tick> _banks;
     std::deque<std::function<void()>> _slotWaiters;
     WordStore _media;
-    check::PersistEventSink *_check = nullptr;
+    log::PersistEventSink *_check = nullptr;
 
     stats::StatGroup _stats{"pm"};
     stats::Scalar _wordWrites{"media_word_writes",

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "check/persistency_checker.hh"
-
 namespace silo::silo_scheme
 {
 

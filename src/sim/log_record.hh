@@ -9,8 +9,8 @@
  * recovery can interpret it without byte (de)serialization.
  */
 
-#ifndef SILO_LOG_LOG_RECORD_HH
-#define SILO_LOG_LOG_RECORD_HH
+#ifndef SILO_SIM_LOG_RECORD_HH
+#define SILO_SIM_LOG_RECORD_HH
 
 #include <cstdint>
 
@@ -59,4 +59,4 @@ struct LogRecord
 
 } // namespace silo::log
 
-#endif // SILO_LOG_LOG_RECORD_HH
+#endif // SILO_SIM_LOG_RECORD_HH

@@ -10,17 +10,17 @@
  * the live records in address order.
  */
 
-#ifndef SILO_LOG_LOG_REGION_HH
-#define SILO_LOG_LOG_REGION_HH
+#ifndef SILO_SIM_LOG_REGION_HH
+#define SILO_SIM_LOG_REGION_HH
 
 #include <cstdint>
 #include <map>
 #include <vector>
 
-#include "check/event_sink.hh"
 #include "sim/address_map.hh"
+#include "sim/log_record.hh"
 #include "sim/logging.hh"
-#include "log/log_record.hh"
+#include "sim/persist_event_sink.hh"
 
 namespace silo::log
 {
@@ -84,7 +84,7 @@ class LogRegionStore
     }
 
     /** Register the persistency checker (nullptr when disabled). */
-    void setEventSink(check::PersistEventSink *sink) { _sink = sink; }
+    void setEventSink(PersistEventSink *sink) { _sink = sink; }
 
     /** Live records of thread @p tid in ascending address order. */
     std::vector<std::pair<Addr, LogRecord>>
@@ -110,9 +110,9 @@ class LogRegionStore
     std::map<Addr, LogRecord> _records;
     std::vector<Addr> _tail;
     std::vector<Addr> _head;
-    check::PersistEventSink *_sink = nullptr;
+    PersistEventSink *_sink = nullptr;
 };
 
 } // namespace silo::log
 
-#endif // SILO_LOG_LOG_REGION_HH
+#endif // SILO_SIM_LOG_REGION_HH

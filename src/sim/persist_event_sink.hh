@@ -2,12 +2,15 @@
  * @file
  * The persistency-event observer interface.
  *
- * The memory controller, PM device, and log region report
- * durability-relevant events (domain transitions) through this
- * interface so the persistency checker (src/check) can shadow the
- * memory system without those components depending on it. Every hook
- * has an empty default body and every producer guards its sink pointer,
- * so a disabled checker costs one null check per event.
+ * The memory controller, PM device, log region, and logging schemes
+ * report durability-relevant events (domain transitions plus the
+ * scheme-internal coverage notes) through this interface so the
+ * persistency checker (src/check) can shadow the memory system without
+ * any of those components depending on it. The interface lives in the
+ * sim layer — the bottom of the module DAG (DESIGN.md §4g) — precisely
+ * so every producer below src/check can include it. Every hook has an
+ * empty default body and every producer guards its sink pointer, so a
+ * disabled checker costs one null check per event.
  *
  * Domain model (§II / §III of the paper): a word moves
  *   volatile cache -> ADR WPQ -> on-PM buffer -> media,
@@ -16,17 +19,18 @@
  * retry for a WPQ slot (in-flight records are durable too).
  */
 
-#ifndef SILO_CHECK_EVENT_SINK_HH
-#define SILO_CHECK_EVENT_SINK_HH
+#ifndef SILO_SIM_PERSIST_EVENT_SINK_HH
+#define SILO_SIM_PERSIST_EVENT_SINK_HH
 
 #include <array>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
-#include "log/log_record.hh"
+#include "sim/log_record.hh"
 #include "sim/types.hh"
 
-namespace silo::check
+namespace silo::log
 {
 
 /** Observer of durability-relevant memory-system events. */
@@ -89,7 +93,7 @@ class PersistEventSink
     /// @{
 
     /** A log record became durable at @p rec_addr. */
-    virtual void onLogPersist(Addr rec_addr, const log::LogRecord &record)
+    virtual void onLogPersist(Addr rec_addr, const LogRecord &record)
     {
         (void)rec_addr;
         (void)record;
@@ -103,8 +107,55 @@ class PersistEventSink
         (void)tail;
     }
     /// @}
+
+    /** @name Scheme-internal coverage (battery/ADR structures)
+     *
+     * Logging schemes report the on-chip state their durability
+     * arguments rest on (src/check invariant 1's coverage sources)
+     * through these hooks, so the scheme layer never has to name the
+     * concrete checker type.
+     */
+    /// @{
+
+    /** A record entered the MC's ADR log path (durable, pre-accept). */
+    virtual void onLogInFlight(Addr rec_addr, const LogRecord &record)
+    {
+        (void)rec_addr;
+        (void)record;
+    }
+
+    /** Silo appended an undo entry to the battery-backed log buffer. */
+    virtual void noteBatteryUndo(unsigned core, std::uint16_t txid,
+                                 Addr addr, Word old_val)
+    {
+        (void)core;
+        (void)txid;
+        (void)addr;
+        (void)old_val;
+    }
+
+    /** MorLog appended an undo entry to its ADR-domain MC buffer. */
+    virtual void noteAdrUndo(unsigned core, std::uint16_t txid,
+                             Addr addr, Word old_val)
+    {
+        (void)core;
+        (void)txid;
+        (void)addr;
+        (void)old_val;
+    }
+
+    /** Silo set an entry's flush-bit (claims ADR has @p new_data). */
+    virtual void noteFlushBit(unsigned core, std::uint16_t txid,
+                              Addr addr, Word new_data)
+    {
+        (void)core;
+        (void)txid;
+        (void)addr;
+        (void)new_data;
+    }
+    /// @}
 };
 
-} // namespace silo::check
+} // namespace silo::log
 
-#endif // SILO_CHECK_EVENT_SINK_HH
+#endif // SILO_SIM_PERSIST_EVENT_SINK_HH

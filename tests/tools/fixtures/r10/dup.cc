@@ -1,0 +1,7 @@
+// silo-lint test fixture: R10 — two allowfile() directives granting
+// the same rule; the duplicate is flagged and, having lost the race
+// to suppress anything, is also reported unused.
+
+// silo-lint: allowfile(R2) whole-file entropy shim
+// silo-lint: allowfile(R2) duplicate whole-file grant
+int seed = srand(3);

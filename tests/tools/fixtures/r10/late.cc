@@ -1,0 +1,6 @@
+// silo-lint test fixture: R10 — an allowfile() buried below the
+// first code of the file still suppresses, but is itself flagged.
+
+int firstCode();
+// silo-lint: allowfile(R2) entropy shim declared too late
+int seed = srand(9);

@@ -1,0 +1,6 @@
+// silo-lint test fixture: R10 negative — one allowfile() at the top
+// of the file covering several findings is the intended shape.
+
+// silo-lint: allowfile(R2) entropy shim for this whole fixture
+int seed = srand(11);
+long tick = time(nullptr);

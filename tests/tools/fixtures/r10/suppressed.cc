@@ -1,0 +1,7 @@
+// silo-lint test fixture: R10 suppressed — the placement finding is
+// itself granted with a reason.
+
+int firstCode();
+// silo-lint: allow(R10) allowfile kept at the bottom so the header comment stays first
+// silo-lint: allowfile(R2) entropy shim for the whole file
+int seed = srand(13);

@@ -1,14 +1,16 @@
 // silo-lint test fixture: R4 negative — explicit captures and a
-// non-negative delay.
+// non-negative delay. The counter lives at file scope so the
+// explicit by-ref capture is lifetime-safe (no R7 either).
 struct Queue
 {
     template <typename F>
     void schedule(long when, F &&fn);
 };
 
+int counter = 0;
+
 void
 arm(Queue &q)
 {
-    int local = 0;
-    q.schedule(10, [&local] { ++local; });
+    q.schedule(10, [&counter] { ++counter; });
 }

@@ -1,15 +1,18 @@
 // silo-lint test fixture: R4 positives — a negative delay (Tick is
-// unsigned and wraps) and a default-capture deferred callback.
+// unsigned and wraps) and a default-capture deferred callback. The
+// captured counter lives at file scope so only R4 fires (a local
+// would also trip R7 callback-lifetime).
 struct Queue
 {
     template <typename F>
     void schedule(long when, F &&fn);
 };
 
+int counter = 0;
+
 void
 arm(Queue &q)
 {
-    int local = 0;
-    q.schedule(-5, [&local] { ++local; });
-    q.schedule(10, [&] { ++local; });
+    q.schedule(-5, [&counter] { ++counter; });
+    q.schedule(10, [&] { ++counter; });
 }

@@ -1,0 +1,10 @@
+// silo-lint test fixture: R6 negative — downward includes along the
+// module DAG stay clean.
+
+#ifndef FIX_R6_OK_HH
+#define FIX_R6_OK_HH
+
+#include "nvm/dev.hh"
+#include "sim/types.hh"
+
+#endif

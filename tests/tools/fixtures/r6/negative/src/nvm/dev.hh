@@ -1,0 +1,8 @@
+// silo-lint test fixture: R6 negative — nvm sits directly on sim.
+
+#ifndef FIX_R6_DEV_HH
+#define FIX_R6_DEV_HH
+
+#include "sim/types.hh"
+
+#endif

@@ -1,0 +1,8 @@
+// silo-lint test fixture: R6 negative — the bottom of the DAG.
+
+#ifndef FIX_R6_TYPES_HH
+#define FIX_R6_TYPES_HH
+
+using Word = unsigned long long;
+
+#endif

@@ -1,0 +1,9 @@
+// silo-lint test fixture: R6 positive — one half of a same-module
+// include cycle (the layer table alone cannot see it).
+
+#ifndef FIX_R6_A_HH
+#define FIX_R6_A_HH
+
+#include "sim/b.hh"
+
+#endif

@@ -1,0 +1,8 @@
+// silo-lint test fixture: R6 positive — the other half of the cycle.
+
+#ifndef FIX_R6_B_HH
+#define FIX_R6_B_HH
+
+#include "sim/a.hh"
+
+#endif

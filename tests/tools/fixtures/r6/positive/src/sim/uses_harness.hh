@@ -1,0 +1,9 @@
+// silo-lint test fixture: R6 positive — a sim-layer header reaching
+// up into the harness, the worst inversion the module DAG forbids.
+
+#ifndef FIX_R6_USES_HARNESS_HH
+#define FIX_R6_USES_HARNESS_HH
+
+#include "harness/sweep.hh"
+
+#endif

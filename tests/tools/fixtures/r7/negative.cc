@@ -1,0 +1,18 @@
+// silo-lint test fixture: R7 negatives — this-captures, by-value
+// captures and member references survive the frame, so they stay
+// clean.
+
+struct Engine
+{
+    int count = 0;
+    long _total = 0;
+
+    void
+    arm(EventQueue &q)
+    {
+        q.schedule(5, [this] { ++count; });
+        q.schedule(6, [&_total] { _total += 1; });
+        int snapshot = count;
+        q.schedule(7, [snapshot] { consume(snapshot); });
+    }
+};

@@ -1,0 +1,16 @@
+// silo-lint test fixture: R7 positives — schedule() lambdas capture a
+// function-local and a parameter by reference; both frames are gone by
+// the time the event queue dispatches.
+
+void
+armCounter(EventQueue &q)
+{
+    int pending = 0;
+    q.schedule(5, [&pending] { ++pending; });
+}
+
+void
+armBudget(EventQueue &q, int budget)
+{
+    q.scheduleAfter(7, [&budget] { budget -= 1; });
+}

@@ -1,0 +1,15 @@
+// silo-lint test fixture: R8 negatives — float accumulation over an
+// ordered container and integer accumulation over a worker loop are
+// both deterministic.
+
+void
+safeSums(const std::vector<double> &xs, unsigned jobs)
+{
+    double ordered = 0.0;
+    for (double x : xs)
+        ordered += x;
+
+    long count = 0;
+    for (unsigned w = 0; w < jobs; ++w)
+        count += 1;
+}

@@ -1,0 +1,19 @@
+// silo-lint test fixture: R8 positives — float accumulation over an
+// unordered container (the range-for also trips R1), over a
+// worker-indexed loop, and inside a parallelFor lambda.
+
+void
+tally(const std::unordered_map<int, double> &weights, unsigned jobs,
+      Sweep &sweep)
+{
+    double total = 0.0;
+    for (const auto &kv : weights)
+        total += kv.second;
+
+    double perWorker = 0.0;
+    for (unsigned w = 0; w < jobs; ++w)
+        perWorker += partial(w);
+
+    double acc = 0.0;
+    sweep.parallelFor(8, [&acc](unsigned i) { acc += load(i); });
+}

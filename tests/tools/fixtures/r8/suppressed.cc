@@ -1,0 +1,12 @@
+// silo-lint test fixture: R8 suppressed — a worker-loop float sum
+// granted because the partials are re-combined in a fixed order.
+
+void
+weigh(const std::vector<double> &parts, unsigned jobs)
+{
+    double sum = 0.0;
+    for (unsigned w = 0; w < jobs; ++w) {
+        // silo-lint: allow(R8) partials are sorted and re-summed in fixed order before reporting
+        sum += parts[w];
+    }
+}

@@ -1,0 +1,10 @@
+// silo-lint test fixture: R9 negative — the registration site.
+
+#include "owner.hh"
+
+void
+Owner::wire()
+{
+    _grp.addDistribution(_lat);
+    registry().add("owner", _grp);
+}

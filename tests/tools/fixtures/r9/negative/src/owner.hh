@@ -1,0 +1,14 @@
+// silo-lint test fixture: R9 negative — both stats reach the export.
+
+#ifndef FIX_R9_NEG_OWNER_HH
+#define FIX_R9_NEG_OWNER_HH
+
+struct Owner
+{
+    void wire();
+
+    stats::Distribution _lat{"latency", "per-op latency"};
+    stats::StatGroup _grp;
+};
+
+#endif

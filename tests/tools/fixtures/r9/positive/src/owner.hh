@@ -1,0 +1,14 @@
+// silo-lint test fixture: R9 positives — a Distribution that never
+// reaches addDistribution() and a StatGroup nothing populates or
+// exports.
+
+#ifndef FIX_R9_OWNER_HH
+#define FIX_R9_OWNER_HH
+
+struct Owner
+{
+    stats::Distribution _lat{"latency", "per-op latency"};
+    stats::StatGroup _grp;
+};
+
+#endif

@@ -1,0 +1,13 @@
+// silo-lint test fixture: R9 suppressed — a deliberately unexported
+// scratch histogram, granted with a reason.
+
+#ifndef FIX_R9_SUP_OWNER_HH
+#define FIX_R9_SUP_OWNER_HH
+
+struct Owner
+{
+    // silo-lint: allow(R9) scratch histogram, read directly by the harness test
+    stats::Distribution _scratch{"scratch", "local-only histogram"};
+};
+
+#endif

@@ -1,0 +1,2 @@
+int firstCode();
+// silo-lint: allow(R1) dangling tail allowance

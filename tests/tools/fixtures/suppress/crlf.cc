@@ -1,0 +1,3 @@
+int before();
+// silo-lint: allow(R2) windows line endings still parse
+int seed = srand(5);

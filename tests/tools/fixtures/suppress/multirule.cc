@@ -1,0 +1,9 @@
+// silo-lint test fixture: one allow() granting two rules at once —
+// the range-for trips R1 and the rand() on the same line trips R2.
+
+void
+mix(const std::unordered_map<int, int> &m)
+{
+    // silo-lint: allow(R1, R2) deliberate joint fixture for the multi-rule grammar
+    for (const auto &kv : m) { consume(kv.first + rand()); }
+}

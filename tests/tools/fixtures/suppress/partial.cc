@@ -1,0 +1,5 @@
+// silo-lint test fixture: a multi-rule allow list where only one
+// listed rule fires — the other entry is reported unused (S0).
+
+// silo-lint: allow(R1, R2) only the entropy half actually fires
+int seed = srand(21);

@@ -1,0 +1,2 @@
+// silo-lint: allow(R2) reason text with trailing blanks   	
+int seed = srand(17);

@@ -1,12 +1,15 @@
 /**
  * @file
- * silo-lint's own tests: every rule R1–R5 gets a positive fixture
+ * silo-lint's own tests: every rule R1–R10 gets a positive fixture
  * (violations found, golden silo-lint-v1 JSON byte-matched), a
  * negative fixture (clean code stays clean) and a suppressed fixture
  * (a reasoned allow() turns the error into a counted suppression),
- * plus S0 coverage of the suppression grammar itself, and — the gate
- * that matters day-to-day — a self-run asserting the repository lints
- * clean with zero unsuppressed findings.
+ * plus S0 coverage of the suppression grammar itself (multi-rule
+ * lists, CRLF endings, trailing-whitespace reasons, last-line
+ * directives), SARIF 2.1.0 golden output, the --changed finding
+ * filter, and — the gate that matters day-to-day — a self-run
+ * asserting the repository lints clean with zero unsuppressed
+ * findings.
  */
 
 #include <gtest/gtest.h>
@@ -58,12 +61,29 @@ expectMatchesGolden(const Result &result, const std::string &name)
                                       << " out of date";
 }
 
-TEST(SiloLintRules, CatalogueCoversR1ToR5)
+/** Same, for the SARIF 2.1.0 serialization of the result. */
+void
+expectMatchesSarifGolden(const Result &result, const std::string &name)
 {
-    ASSERT_EQ(ruleCatalogue().size(), 5u);
+    std::string golden = slurp(goldens + "/" + name + ".sarif");
+    ASSERT_FALSE(golden.empty()) << "missing SARIF golden " << name;
+    EXPECT_EQ(toSarif(result), golden) << "SARIF golden " << name
+                                       << " out of date";
+}
+
+TEST(SiloLintRules, CatalogueCoversR1ToR10)
+{
+    ASSERT_EQ(ruleCatalogue().size(), 10u);
     EXPECT_EQ(slugForRule("R1"), "nondet-iteration");
     EXPECT_EQ(slugForRule("nondet-iteration"), "nondet-iteration");
     EXPECT_EQ(slugForRule("R5"), "stats-names");
+    EXPECT_EQ(slugForRule("R6"), "module-layering");
+    EXPECT_EQ(slugForRule("R7"), "callback-lifetime");
+    EXPECT_EQ(slugForRule("R8"), "float-determinism");
+    EXPECT_EQ(slugForRule("R9"), "stats-registration");
+    EXPECT_EQ(slugForRule("R10"), "suppression-hygiene");
+    EXPECT_EQ(slugForRule("suppression-hygiene"),
+              "suppression-hygiene");
     EXPECT_EQ(slugForRule("not-a-rule"), "");
 }
 
@@ -235,6 +255,265 @@ TEST(SiloLintS0, SuppressionGrammarIsItselfLinted)
     expectMatchesGolden(r, "s0_positive");
 }
 
+TEST(SiloLintR6, PositiveFlagsUpwardIncludeAndCycle)
+{
+    Result r = lintFixture("r6/positive",
+                           {"src/sim/uses_harness.hh", "src/sim/a.hh",
+                            "src/sim/b.hh"});
+    EXPECT_EQ(r.errors, 2u);
+    bool upward = false, cycle = false;
+    for (const Finding &f : r.findings) {
+        EXPECT_EQ(f.rule, "module-layering");
+        if (f.message.find("may not include") != std::string::npos)
+            upward = true;
+        if (f.message.find("include cycle") != std::string::npos)
+            cycle = true;
+    }
+    EXPECT_TRUE(upward) << "sim -> harness include not flagged";
+    EXPECT_TRUE(cycle) << "a.hh <-> b.hh cycle not flagged";
+    expectMatchesGolden(r, "r6_positive");
+}
+
+TEST(SiloLintR6, NegativeDownwardIncludesStayClean)
+{
+    Result r = lintFixture("r6/negative",
+                           {"src/mc/ok.hh", "src/nvm/dev.hh",
+                            "src/sim/types.hh"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SiloLintR6, SuppressedTransitionalIncludeIsAllowed)
+{
+    Result r = lintFixture("r6/suppressed", {"src/sim/peek.hh"});
+    EXPECT_EQ(r.errors, 0u);
+    ASSERT_EQ(r.suppressed, 1u);
+    EXPECT_EQ(r.findings[0].reason,
+              "transitional — the checker interface moves down into "
+              "sim next release");
+}
+
+TEST(SiloLintR7, PositiveFindsLocalAndParamByRefCaptures)
+{
+    Result r = lintFixture("r7", {"positive.cc"});
+    EXPECT_EQ(r.errors, 2u);
+    bool local = false, param = false;
+    for (const Finding &f : r.findings) {
+        EXPECT_EQ(f.rule, "callback-lifetime");
+        if (f.message.find("'pending'") != std::string::npos)
+            local = true;
+        if (f.message.find("'budget'") != std::string::npos)
+            param = true;
+    }
+    EXPECT_TRUE(local) << "local captured by ref not flagged";
+    EXPECT_TRUE(param) << "parameter captured by ref not flagged";
+    expectMatchesGolden(r, "r7_positive");
+}
+
+TEST(SiloLintR7, NegativeMemberAndByValueCapturesStayClean)
+{
+    Result r = lintFixture("r7", {"negative.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SiloLintR7, SuppressedDrainedQueueIsAllowed)
+{
+    Result r = lintFixture("r7", {"suppressed.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    ASSERT_EQ(r.suppressed, 1u);
+    EXPECT_EQ(r.findings[0].reason,
+              "q.drain() below completes every event before hits dies");
+}
+
+TEST(SiloLintR8, PositiveFindsUnorderedWorkerAndParallelSums)
+{
+    Result r = lintFixture("r8", {"positive.cc"});
+    // The unordered range-for also trips R1 — both rules report.
+    EXPECT_EQ(r.errors, 4u);
+    int r8 = 0;
+    for (const Finding &f : r.findings)
+        if (f.rule == "float-determinism")
+            ++r8;
+    EXPECT_EQ(r8, 3) << "expected unordered + worker-loop + "
+                        "parallel-callback accumulations";
+    expectMatchesGolden(r, "r8_positive");
+}
+
+TEST(SiloLintR8, NegativeOrderedAndIntegerSumsStayClean)
+{
+    Result r = lintFixture("r8", {"negative.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SiloLintR8, SuppressedSortedResumIsAllowed)
+{
+    Result r = lintFixture("r8", {"suppressed.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(SiloLintR9, PositiveFindsUnregisteredDistributionAndGroup)
+{
+    Result r = lintFixture("r9/positive", {"src/owner.hh"});
+    EXPECT_EQ(r.errors, 2u);
+    bool dist = false, group = false;
+    for (const Finding &f : r.findings) {
+        EXPECT_EQ(f.rule, "stats-registration");
+        if (f.message.find("addDistribution") != std::string::npos)
+            dist = true;
+        if (f.message.find("StatGroup") != std::string::npos)
+            group = true;
+    }
+    EXPECT_TRUE(dist);
+    EXPECT_TRUE(group);
+    expectMatchesGolden(r, "r9_positive");
+}
+
+TEST(SiloLintR9, NegativeRegisteredAcrossFilesStaysClean)
+{
+    // The declaration lives in the header; the registration lives in
+    // the .cc — R9 is a corpus rule and must see across files.
+    Result r = lintFixture("r9/negative",
+                           {"src/owner.hh", "src/owner.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SiloLintR9, SuppressedScratchHistogramIsAllowed)
+{
+    Result r = lintFixture("r9/suppressed", {"src/owner.hh"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(SiloLintR10, DuplicateGrantIsFlagged)
+{
+    Result r = lintFixture("r10", {"dup.cc"});
+    EXPECT_EQ(r.errors, 2u);   // duplicate grant + unused directive
+    EXPECT_EQ(r.suppressed, 1u);
+    bool dup = false, unused = false;
+    for (const Finding &f : r.findings) {
+        if (f.message.find("duplicate suppression") !=
+            std::string::npos) {
+            EXPECT_EQ(f.rule, "suppression-hygiene");
+            dup = true;
+        }
+        if (f.message.find("unused suppression") != std::string::npos)
+            unused = true;
+    }
+    EXPECT_TRUE(dup);
+    EXPECT_TRUE(unused);
+    expectMatchesGolden(r, "r10_dup");
+}
+
+TEST(SiloLintR10, LateAllowfileIsFlaggedButStillSuppresses)
+{
+    Result r = lintFixture("r10", {"late.cc"});
+    EXPECT_EQ(r.errors, 1u);
+    EXPECT_EQ(r.suppressed, 1u);
+    ASSERT_FALSE(r.findings.empty());
+    bool placement = false;
+    for (const Finding &f : r.findings)
+        if (f.message.find("must appear before the first code") !=
+            std::string::npos)
+            placement = true;
+    EXPECT_TRUE(placement);
+}
+
+TEST(SiloLintR10, NegativeTopAllowfileStaysClean)
+{
+    Result r = lintFixture("r10", {"negative.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.suppressed, 2u);
+}
+
+TEST(SiloLintR10, PlacementFindingIsItselfSuppressible)
+{
+    Result r = lintFixture("r10", {"suppressed.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_EQ(r.suppressed, 2u);   // the R10 finding and the R2 one
+}
+
+TEST(SiloLintSuppress, MultiRuleAllowCoversBothRules)
+{
+    Result r = lintFixture("suppress", {"multirule.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    ASSERT_EQ(r.suppressed, 2u);   // R1 and R2 on the same line
+    for (const Finding &f : r.findings) {
+        EXPECT_TRUE(f.suppressed);
+        EXPECT_EQ(f.reason,
+                  "deliberate joint fixture for the multi-rule "
+                  "grammar");
+    }
+}
+
+TEST(SiloLintSuppress, PartiallyUsedListReportsTheUnusedRule)
+{
+    Result r = lintFixture("suppress", {"partial.cc"});
+    EXPECT_EQ(r.errors, 1u);
+    EXPECT_EQ(r.suppressed, 1u);
+    bool unused_r1 = false;
+    for (const Finding &f : r.findings)
+        if (!f.suppressed) {
+            EXPECT_EQ(f.code, "S0");
+            if (f.message.find("unused suppression for R1") !=
+                std::string::npos)
+                unused_r1 = true;
+        }
+    EXPECT_TRUE(unused_r1)
+        << "the unfired R1 entry must be reported individually";
+}
+
+TEST(SiloLintSuppress, CrlfEndingsParseAndReasonIsClean)
+{
+    Result r = lintFixture("suppress", {"crlf.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    ASSERT_EQ(r.suppressed, 1u);
+    // The \r must not leak into the recorded reason.
+    EXPECT_EQ(r.findings[0].reason,
+              "windows line endings still parse");
+}
+
+TEST(SiloLintSuppress, TrailingWhitespaceReasonIsTrimmed)
+{
+    Result r = lintFixture("suppress", {"trailing.cc"});
+    EXPECT_EQ(r.errors, 0u);
+    ASSERT_EQ(r.suppressed, 1u);
+    EXPECT_EQ(r.findings[0].reason,
+              "reason text with trailing blanks");
+}
+
+TEST(SiloLintS0, AllowOnLastLineWithoutNewlineIsUnused)
+{
+    Result r = lintFixture("s0", {"lastline.cc"});
+    EXPECT_EQ(r.errors, 1u);
+    EXPECT_EQ(r.suppressed, 0u);
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].code, "S0");
+    EXPECT_NE(r.findings[0].message.find("unused suppression for R1"),
+              std::string::npos);
+}
+
+TEST(SiloLintChanged, OnlyFindingsInChangedFilesAreReported)
+{
+    Options opts;
+    opts.root = fixtures + "/r1";
+    opts.files = {"positive.cc", "negative.cc"};
+    opts.changedOnly = true;
+    opts.changedFiles = {"negative.cc"};
+    Result r = runLint(opts);
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.filesScanned, 2u)
+        << "--changed must still scan the full corpus";
+
+    opts.changedFiles = {"positive.cc"};
+    r = runLint(opts);
+    EXPECT_EQ(r.errors, 2u);
+}
+
 TEST(SiloLintJson, SchemaAndEscaping)
 {
     Result r = lintFixture("r1", {"positive.cc"});
@@ -243,6 +522,25 @@ TEST(SiloLintJson, SchemaAndEscaping)
               std::string::npos);
     EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
     EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+}
+
+TEST(SiloLintSarif, StructureRulesAndSuppressions)
+{
+    Result r = lintFixture("r7", {"positive.cc"});
+    std::string sarif = toSarif(r);
+    EXPECT_NE(sarif.find("sarif-2.1.0"), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"R7\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
+    // An all-error run carries no suppressions blocks.
+    EXPECT_EQ(sarif.find("\"suppressions\""), std::string::npos);
+    expectMatchesSarifGolden(r, "r7_positive");
+
+    Result s = lintFixture("r7", {"suppressed.cc"});
+    std::string ssarif = toSarif(s);
+    EXPECT_NE(ssarif.find("\"suppressions\""), std::string::npos);
+    EXPECT_NE(ssarif.find("\"kind\": \"inSource\""),
+              std::string::npos);
+    expectMatchesSarifGolden(s, "r7_suppressed");
 }
 
 /**

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <tuple>
 
@@ -16,18 +17,32 @@ namespace fs = std::filesystem;
 namespace
 {
 
+/** Scope of one suppression directive. */
+enum class DirScope
+{
+    Line,       //!< allow(): the directive's own or the next line
+    NextLine,   //!< allow-next-line(): the next line only
+    File,       //!< allowfile(): the whole file
+};
+
+/** One rule named in a directive's (possibly multi-rule) allow list. */
+struct RuleRef
+{
+    std::string rule;     //!< canonical slug; empty when unknown
+    std::string rawRule;  //!< as written (for diagnostics)
+    bool used = false;
+};
+
 /** One parsed `silo-lint: allow*(...)` directive. */
 struct Directive
 {
     std::string file;
     int line = 0;
-    std::string rule;     //!< canonical slug; empty when unknown
-    std::string rawRule;  //!< as written (for diagnostics)
+    DirScope scope = DirScope::Line;
+    std::vector<RuleRef> rules;
     std::string reason;
-    bool fileLevel = false;
     bool malformed = false;
     std::string problem;
-    bool used = false;
 };
 
 std::string
@@ -85,15 +100,20 @@ parseDirectives(const SourceFile &file, std::vector<Directive> &out)
         d.file = file.path;
         d.line = tok.line;
         std::string rest = trimmed(tok.text.substr(pos + marker.size()));
-        bool file_level = rest.rfind("allowfile(", 0) == 0;
-        bool line_level = rest.rfind("allow(", 0) == 0;
-        if (!file_level && !line_level) {
+        if (rest.rfind("allowfile(", 0) == 0)
+            d.scope = DirScope::File;
+        else if (rest.rfind("allow-next-line(", 0) == 0)
+            d.scope = DirScope::NextLine;
+        else if (rest.rfind("allow(", 0) == 0)
+            d.scope = DirScope::Line;
+        else {
             d.malformed = true;
-            d.problem = "expected allow(<rule>) or allowfile(<rule>)";
+            d.problem = "expected allow(<rules>), "
+                        "allow-next-line(<rules>) or "
+                        "allowfile(<rules>)";
             out.push_back(std::move(d));
             continue;
         }
-        d.fileLevel = file_level;
         std::size_t open = rest.find('(');
         std::size_t close = rest.find(')', open);
         if (close == std::string::npos) {
@@ -102,22 +122,113 @@ parseDirectives(const SourceFile &file, std::vector<Directive> &out)
             out.push_back(std::move(d));
             continue;
         }
-        d.rawRule = trimmed(rest.substr(open + 1, close - open - 1));
-        d.rule = slugForRule(d.rawRule);
+        // Comma-separated rule list; every entry must resolve.
+        std::string list = rest.substr(open + 1, close - open - 1);
+        std::size_t start = 0;
+        while (start <= list.size()) {
+            std::size_t comma = list.find(',', start);
+            std::size_t len = comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start;
+            RuleRef r;
+            r.rawRule = trimmed(list.substr(start, len));
+            r.rule = slugForRule(r.rawRule);
+            if (r.rule.empty() && !d.malformed) {
+                d.malformed = true;
+                d.problem = r.rawRule.empty()
+                                ? "empty rule in allow list"
+                                : "unknown rule '" + r.rawRule + "'";
+            }
+            d.rules.push_back(std::move(r));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
         d.reason = trimmed(rest.substr(close + 1));
         // Multi-line block comments: the reason is the first line.
         std::size_t nl = d.reason.find('\n');
         if (nl != std::string::npos)
             d.reason = trimmed(d.reason.substr(0, nl));
-        if (d.rule.empty()) {
+        if (!d.malformed && d.reason.empty()) {
             d.malformed = true;
-            d.problem = "unknown rule '" + d.rawRule + "'";
-        } else if (d.reason.empty()) {
-            d.malformed = true;
-            d.problem = "suppression of " + d.rawRule +
+            d.problem = "suppression of " +
+                        (d.rules.size() == 1 ? d.rules[0].rawRule
+                                             : "a rule list") +
                         " must carry a reason";
         }
         out.push_back(std::move(d));
+    }
+}
+
+/**
+ * R10: the directive corpus itself is linted — duplicated grants and
+ * allowfile() directives buried below code are findings.
+ */
+void
+runSuppressionHygiene(const std::vector<SourceFile> &files,
+                      std::vector<Directive> &directives,
+                      std::vector<Finding> &findings)
+{
+    // (a) allowfile() must precede the file's first code token, so a
+    // whole-file allowance is visible at the top of the file.
+    std::map<std::string, int> first_code;
+    for (const SourceFile &f : files)
+        if (!f.code.empty())
+            first_code[f.path] = f.code.front().line;
+    for (const Directive &d : directives) {
+        if (d.malformed || d.scope != DirScope::File)
+            continue;
+        auto it = first_code.find(d.file);
+        if (it != first_code.end() && d.line > it->second) {
+            findings.push_back(
+                {d.file, d.line, "R10", "suppression-hygiene",
+                 "allowfile() must appear before the first code of "
+                 "the file (line " + std::to_string(it->second) +
+                     ") so whole-file allowances are visible up front",
+                 false, ""});
+        }
+    }
+
+    // (b) duplicate grants: two directives in one file granting the
+    // same rule over overlapping scope. allowfile() vs a line-level
+    // allow is deliberately not flagged (the narrow one documents a
+    // specific site).
+    auto covered = [](const Directive &d) {
+        std::vector<int> lines{d.line + 1};
+        if (d.scope == DirScope::Line)
+            lines.push_back(d.line);
+        return lines;
+    };
+    for (std::size_t a = 0; a < directives.size(); ++a) {
+        for (std::size_t b = a + 1; b < directives.size(); ++b) {
+            const Directive &x = directives[a];
+            const Directive &y = directives[b];
+            if (x.malformed || y.malformed || x.file != y.file)
+                continue;
+            bool x_file = x.scope == DirScope::File;
+            bool y_file = y.scope == DirScope::File;
+            bool overlap = x_file && y_file;
+            if (!x_file && !y_file) {
+                for (int lx : covered(x))
+                    for (int ly : covered(y))
+                        if (lx == ly)
+                            overlap = true;
+            }
+            if (!overlap)
+                continue;
+            for (const RuleRef &rx : x.rules) {
+                for (const RuleRef &ry : y.rules) {
+                    if (rx.rule.empty() || rx.rule != ry.rule)
+                        continue;
+                    findings.push_back(
+                        {y.file, y.line, "R10", "suppression-hygiene",
+                         "duplicate suppression of " + ry.rawRule +
+                             " — already granted by the directive at "
+                             "line " + std::to_string(x.line),
+                         false, ""});
+                }
+            }
+        }
     }
 }
 
@@ -213,7 +324,8 @@ runLint(const Options &opts)
 
     std::vector<std::string> doc_names = opts.docs;
     if (opts.defaultDocs) {
-        for (const char *d : {"README.md", "DESIGN.md"})
+        for (const char *d : {"README.md", "DESIGN.md",
+                              "EXPERIMENTS.md"})
             if (fs::is_regular_file(root / d))
                 doc_names.push_back(d);
     }
@@ -228,44 +340,84 @@ runLint(const Options &opts)
         runAmbientEntropy(f, findings);
         runHandlerHygiene(f, findings);
         runStatsNames(f, findings);
+        runCallbackLifetime(f, findings);
+        runFloatDeterminism(f, findings);
         parseDirectives(f, directives);
     }
     runEnvDocParity(files, build_files, docs, findings);
+    runLayering(files, findings);
+    runStatsRegistration(files, findings);
+    runSuppressionHygiene(files, directives, findings);
 
-    // Apply suppressions: a directive covers findings of its rule in
-    // its file — on its own or the following line for allow(), or
-    // anywhere for allowfile().
+    // Apply suppressions: a directive covers findings of its listed
+    // rules in its file — its own or the following line for allow(),
+    // the following line for allow-next-line(), anywhere for
+    // allowfile().
     for (Finding &f : findings) {
         if (f.suppressed)
             continue;   // R3 text-marker suppressions arrive pre-set
         for (Directive &d : directives) {
-            if (d.malformed || d.file != f.file || d.rule != f.rule)
+            if (d.malformed || d.file != f.file)
                 continue;
-            if (!d.fileLevel &&
-                !(d.line == f.line || d.line == f.line - 1))
+            bool covers =
+                d.scope == DirScope::File ||
+                (d.scope == DirScope::Line &&
+                 (d.line == f.line || d.line == f.line - 1)) ||
+                (d.scope == DirScope::NextLine && d.line == f.line - 1);
+            if (!covers)
                 continue;
-            f.suppressed = true;
-            f.reason = d.reason;
-            d.used = true;
-            break;
+            bool matched = false;
+            for (RuleRef &r : d.rules) {
+                if (r.rule != f.rule)
+                    continue;
+                f.suppressed = true;
+                f.reason = d.reason;
+                r.used = true;
+                matched = true;
+                break;
+            }
+            if (matched)
+                break;
         }
     }
 
-    // Directives are themselves linted: malformed or unmatched ones
-    // are findings, so the suppression surface stays auditable.
+    // Directives are themselves linted: malformed directives and
+    // unmatched listed rules are findings, so the suppression surface
+    // stays auditable.
     for (const Directive &d : directives) {
         if (d.malformed) {
             findings.push_back({d.file, d.line, "S0", "suppression",
                                 "malformed silo-lint directive: " +
                                     d.problem,
                                 false, ""});
-        } else if (!d.used) {
+            continue;
+        }
+        for (const RuleRef &r : d.rules) {
+            if (r.used)
+                continue;
+            std::string tail =
+                d.scope == DirScope::NextLine
+                    ? " — nothing on the next line triggers it"
+                    : " — nothing on this or the next "
+                      "line triggers it";
             findings.push_back({d.file, d.line, "S0", "suppression",
-                                "unused suppression for " + d.rawRule +
-                                    " — nothing on this or the next "
-                                    "line triggers it",
+                                "unused suppression for " + r.rawRule +
+                                    tail,
                                 false, ""});
         }
+    }
+
+    // Incremental mode: the corpus rules above saw the whole tree;
+    // only findings in the changed set are reported.
+    if (opts.changedOnly) {
+        std::set<std::string> changed(opts.changedFiles.begin(),
+                                      opts.changedFiles.end());
+        findings.erase(
+            std::remove_if(findings.begin(), findings.end(),
+                           [&](const Finding &f) {
+                               return !changed.count(f.file);
+                           }),
+            findings.end());
     }
 
     std::sort(findings.begin(), findings.end(),
@@ -339,6 +491,65 @@ toJson(const Result &result)
     }
     os << (result.findings.empty() ? "]\n" : "\n  ]\n");
     os << "}\n";
+    return os.str();
+}
+
+std::string
+toSarif(const Result &result)
+{
+    // Rule index: the catalogue in code order, then the S0 meta rule.
+    std::map<std::string, std::size_t> rule_index;
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"silo-lint\",\n"
+       << "          \"rules\": [\n";
+    std::size_t n = 0;
+    for (const RuleInfo &r : ruleCatalogue()) {
+        rule_index[r.code] = n++;
+        os << "            {\"id\": \"" << r.code << "\", \"name\": \""
+           << r.slug << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(r.summary) << "\"}},\n";
+    }
+    rule_index["S0"] = n;
+    os << "            {\"id\": \"S0\", \"name\": \"suppression\", "
+          "\"shortDescription\": {\"text\": \"the suppression grammar "
+          "itself: malformed or unused directives\"}}\n"
+       << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"columnKind\": \"utf16CodeUnits\",\n"
+       << "      \"originalUriBaseIds\": {\"SRCROOT\": "
+          "{\"description\": {\"text\": \"repository root\"}}},\n"
+       << "      \"results\": [";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding &f = result.findings[i];
+        os << (i ? ",\n" : "\n");
+        os << "        {\"ruleId\": \"" << f.code
+           << "\", \"ruleIndex\": " << rule_index[f.code]
+           << ", \"level\": \"error\", \"message\": {\"text\": \""
+           << jsonEscape(f.message) << "\"}, \"locations\": "
+           << "[{\"physicalLocation\": {\"artifactLocation\": "
+           << "{\"uri\": \"" << jsonEscape(f.file)
+           << "\", \"uriBaseId\": \"SRCROOT\"}, \"region\": "
+           << "{\"startLine\": " << std::max(f.line, 1) << "}}}]";
+        if (f.suppressed) {
+            os << ", \"suppressions\": [{\"kind\": \"inSource\", "
+               << "\"justification\": \"" << jsonEscape(f.reason)
+               << "\"}]";
+        }
+        os << "}";
+    }
+    os << (result.findings.empty() ? "]\n" : "\n      ]\n");
+    os << "    }\n"
+       << "  ]\n"
+       << "}\n";
     return os.str();
 }
 

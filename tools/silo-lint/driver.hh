@@ -4,20 +4,23 @@
  *
  * The driver walks the scanned tree (src/, bench/ and tests/ under
  * the root by default, or an explicit file list), lexes every C++
- * source, runs the R1–R5 matchers (rules.hh), applies the suppression
- * grammar and serializes the result as a human report or the
- * `silo-lint-v1` JSON document.
+ * source, runs the R1–R10 matchers (rules.hh), applies the
+ * suppression grammar and serializes the result as a human report,
+ * the `silo-lint-v1` JSON document, or SARIF 2.1.0.
  *
  * Suppression grammar (DESIGN.md §4f):
  *
- *     // silo-lint: allow(<rule>) <reason>        one finding, on the
- *                                                 same or next line
- *     // silo-lint: allowfile(<rule>) <reason>    whole file
+ *     // silo-lint: allow(<rules>) <reason>            findings on the
+ *                                                      same or next line
+ *     // silo-lint: allow-next-line(<rules>) <reason>  next line only
+ *     // silo-lint: allowfile(<rules>) <reason>        whole file
  *
- * `<rule>` is a code ("R1") or slug ("nondet-iteration"); the reason
- * is mandatory. Suppressed findings stay in the report (marked and
- * counted), and a suppression that matches nothing is itself a
- * finding, so stale allowances cannot accumulate.
+ * `<rules>` is a comma-separated list of codes ("R1") or slugs
+ * ("nondet-iteration"); the reason is mandatory and shared by the
+ * listed rules. Suppressed findings stay in the report (marked and
+ * counted); a listed rule that matches nothing is itself a finding
+ * (S0), so stale allowances cannot accumulate, and the directive
+ * corpus is linted by R10 (duplicates, allowfile placement).
  */
 
 #ifndef SILO_LINT_DRIVER_HH
@@ -46,8 +49,18 @@ struct Options
     std::vector<std::string> files;
     /** Extra documentation files for R3 (root-relative). */
     std::vector<std::string> docs;
-    /** Include root README.md / DESIGN.md in the R3 docs set. */
+    /**
+     * Include root README.md / DESIGN.md / EXPERIMENTS.md in the R3
+     * docs set.
+     */
     bool defaultDocs = true;
+    /**
+     * Incremental mode (--changed): the full corpus is still scanned
+     * — the corpus rules R3/R6/R9 need it — but only findings in
+     * changedFiles (root-relative) are reported and counted.
+     */
+    bool changedOnly = false;
+    std::vector<std::string> changedFiles;
 };
 
 struct Result
@@ -64,6 +77,13 @@ Result runLint(const Options &opts);
 
 /** Serialize @p result as the silo-lint-v1 JSON document. */
 std::string toJson(const Result &result);
+
+/**
+ * Serialize @p result as a SARIF 2.1.0 document (one run, the full
+ * rule catalogue plus S0, suppressed findings carried as inSource
+ * suppressions with their reason as justification).
+ */
+std::string toSarif(const Result &result);
 
 /**
  * Human-readable report: one line per unsuppressed finding (plus

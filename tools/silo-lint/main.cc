@@ -3,21 +3,30 @@
  * silo-lint CLI.
  *
  * Usage:
- *   silo-lint [--root DIR] [--json[=PATH]] [--doc FILE]...
- *             [--no-default-docs] [--list-rules] [-v] [FILE...]
+ *   silo-lint [--root DIR] [--json[=PATH]] [--sarif[=PATH]]
+ *             [--changed[=REF]] [--doc FILE]... [--no-default-docs]
+ *             [--list-rules] [-v] [FILE...]
  *
  * With no FILE arguments, scans src/, bench/ and tests/ under the
- * root (the repository checkout) plus README.md/DESIGN.md for the R3
- * parity rule. Exits 0 when the tree is clean (suppressed findings do
- * not fail the run), 1 on any unsuppressed finding, 2 on usage
- * errors.
+ * root (the repository checkout) plus README.md/DESIGN.md/
+ * EXPERIMENTS.md for the R3 parity rule. The root is canonicalized up
+ * front and passed explicitly to every subprocess (git), so the tool
+ * behaves identically from any working directory — in particular from
+ * out-of-tree build dirs. `--changed` narrows the *report* to files
+ * touched since REF (default HEAD, plus untracked files) while still
+ * analyzing the whole corpus, for pre-commit speed-of-reading.
+ *
+ * Exits 0 when the tree is clean (suppressed findings do not fail the
+ * run), 1 on any unsuppressed finding, 2 on usage errors.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "silo-lint/driver.hh"
 
@@ -28,10 +37,46 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--root DIR] [--json[=PATH]] [--doc FILE]"
+                 "usage: %s [--root DIR] [--json[=PATH]]"
+                 " [--sarif[=PATH]] [--changed[=REF]] [--doc FILE]"
                  " [--no-default-docs] [--list-rules] [-v] [FILE...]\n",
                  argv0);
     return 2;
+}
+
+/**
+ * Root-relative paths changed since @p ref (plus untracked files),
+ * via git run explicitly against @p root — never the CWD.
+ * @return false when git fails (not a repository, bad ref).
+ */
+bool
+gitChangedFiles(const std::string &root, const std::string &ref,
+                std::vector<std::string> &out)
+{
+    const std::string base = "git -C '" + root + "' ";
+    for (const std::string &cmd :
+         {base + "diff --name-only " + ref + " -- 2>/dev/null",
+          base + "ls-files --others --exclude-standard 2>/dev/null"}) {
+        FILE *pipe = popen(cmd.c_str(), "r");
+        if (!pipe)
+            return false;
+        std::string line;
+        int c;
+        while ((c = std::fgetc(pipe)) != EOF) {
+            if (c == '\n') {
+                if (!line.empty())
+                    out.push_back(line);
+                line.clear();
+            } else {
+                line += char(c);
+            }
+        }
+        if (!line.empty())
+            out.push_back(line);
+        if (pclose(pipe) != 0)
+            return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -42,7 +87,11 @@ main(int argc, char **argv)
     silo::lint::Options opts;
     bool verbose = false;
     bool want_json = false;
+    bool want_sarif = false;
+    bool want_changed = false;
     std::string json_path;
+    std::string sarif_path;
+    std::string changed_ref = "HEAD";
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -55,6 +104,16 @@ main(int argc, char **argv)
         } else if (arg.rfind("--json=", 0) == 0) {
             want_json = true;
             json_path = arg.substr(7);
+        } else if (arg == "--sarif") {
+            want_sarif = true;
+        } else if (arg.rfind("--sarif=", 0) == 0) {
+            want_sarif = true;
+            sarif_path = arg.substr(8);
+        } else if (arg == "--changed") {
+            want_changed = true;
+        } else if (arg.rfind("--changed=", 0) == 0) {
+            want_changed = true;
+            changed_ref = arg.substr(10);
         } else if (arg == "--doc" && i + 1 < argc) {
             opts.docs.push_back(argv[++i]);
         } else if (arg == "--no-default-docs") {
@@ -63,7 +122,7 @@ main(int argc, char **argv)
             verbose = true;
         } else if (arg == "--list-rules") {
             for (const auto &r : silo::lint::ruleCatalogue())
-                std::printf("%s %-18s %s\n", r.code, r.slug,
+                std::printf("%-4s %-20s %s\n", r.code, r.slug,
                             r.summary);
             return 0;
         } else if (arg == "--help" || arg == "-h") {
@@ -76,23 +135,60 @@ main(int argc, char **argv)
         }
     }
 
+    // Canonicalize once so every later path (and the git subprocess)
+    // is independent of the working directory.
+    std::error_code ec;
+    std::filesystem::path canon =
+        std::filesystem::canonical(opts.root, ec);
+    if (ec) {
+        std::fprintf(stderr, "silo-lint: bad --root %s: %s\n",
+                     opts.root.c_str(), ec.message().c_str());
+        return 2;
+    }
+    opts.root = canon.string();
+
+    if (want_changed) {
+        opts.changedOnly = true;
+        if (!gitChangedFiles(opts.root, changed_ref,
+                             opts.changedFiles)) {
+            std::fprintf(stderr,
+                         "silo-lint: --changed: git failed under %s "
+                         "(not a repository, or bad ref '%s')\n",
+                         opts.root.c_str(), changed_ref.c_str());
+            return 2;
+        }
+    }
+
     silo::lint::Result result = silo::lint::runLint(opts);
 
     if (want_json && (json_path.empty() || json_path == "-")) {
         std::cout << silo::lint::toJson(result);
-        std::cerr << silo::lint::toHuman(result, verbose);
-    } else {
-        if (want_json) {
-            std::ofstream os(json_path, std::ios::trunc);
-            if (!os) {
-                std::fprintf(stderr,
-                             "silo-lint: cannot write %s\n",
-                             json_path.c_str());
-                return 2;
-            }
-            os << silo::lint::toJson(result);
+    } else if (want_json) {
+        std::ofstream os(json_path, std::ios::trunc);
+        if (!os) {
+            std::fprintf(stderr, "silo-lint: cannot write %s\n",
+                         json_path.c_str());
+            return 2;
         }
-        std::cout << silo::lint::toHuman(result, verbose);
+        os << silo::lint::toJson(result);
     }
+    if (want_sarif && (sarif_path.empty() || sarif_path == "-")) {
+        std::cout << silo::lint::toSarif(result);
+    } else if (want_sarif) {
+        std::ofstream os(sarif_path, std::ios::trunc);
+        if (!os) {
+            std::fprintf(stderr, "silo-lint: cannot write %s\n",
+                         sarif_path.c_str());
+            return 2;
+        }
+        os << silo::lint::toSarif(result);
+    }
+    bool stdout_taken =
+        (want_json && (json_path.empty() || json_path == "-")) ||
+        (want_sarif && (sarif_path.empty() || sarif_path == "-"));
+    if (stdout_taken)
+        std::cerr << silo::lint::toHuman(result, verbose);
+    else
+        std::cout << silo::lint::toHuman(result, verbose);
     return result.errors ? 1 : 0;
 }

@@ -1,9 +1,13 @@
 #include "silo-lint/rules.hh"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
+#include <tuple>
 #include <utility>
+
+#include "silo-lint/parse.hh"
 
 namespace silo::lint
 {
@@ -71,6 +75,42 @@ matchDelim(const std::vector<Token> &toks, std::size_t open,
     return toks.size();
 }
 
+/**
+ * Names declared with an unordered container type (the same pattern
+ * R1's pass 1 uses, without its iterator-typedef findings). Shared
+ * with R8.
+ */
+std::set<std::string>
+unorderedNames(const std::vector<Token> &t)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier ||
+            t[i].text.rfind("unordered_", 0) != 0)
+            continue;
+        std::size_t j = i + 1;
+        if (j >= t.size() || t[j].text != "<")
+            continue;
+        int depth = 0;
+        for (; j < t.size(); ++j) {
+            if (t[j].kind != TokKind::Punct)
+                continue;
+            if (t[j].text == "<")
+                ++depth;
+            else if (t[j].text == ">" && --depth == 0)
+                break;
+        }
+        ++j;
+        while (j < t.size() &&
+               (t[j].text == "&" || t[j].text == "*" ||
+                t[j].text == "&&" || t[j].text == "const"))
+            ++j;
+        if (j < t.size() && t[j].kind == TokKind::Identifier)
+            names.insert(t[j].text);
+    }
+    return names;
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -92,6 +132,21 @@ ruleCatalogue()
         {"R5", "stats-names",
          "stats registration names are unique per file and valid "
          "silo-stats-v1 keys"},
+        {"R6", "module-layering",
+         "quoted includes follow the module DAG (sim at the bottom, "
+         "harness on top) and the include graph is acyclic"},
+        {"R7", "callback-lifetime",
+         "no function-local captured by reference in a deferred "
+         "schedule()/scheduleAfter() callback"},
+        {"R8", "float-determinism",
+         "no float accumulation inside unordered, parallel or "
+         "worker-indexed iteration"},
+        {"R9", "stats-registration",
+         "every Distribution/StatGroup constructed under src/ reaches "
+         "the stats export (addDistribution / group use)"},
+        {"R10", "suppression-hygiene",
+         "suppression directives are deduplicated, correctly scoped "
+         "and allowfile() precedes the first code of its file"},
     };
     return rules;
 }
@@ -459,6 +514,8 @@ runEnvDocParity(const std::vector<SourceFile> &files,
     }
     // Build-system knobs (option()/CACHE variables) count as code:
     // SILO_SANITIZE and SILO_WERROR are user-facing like env vars.
+    // Other SILO_* tokens in build files are internal CMake list
+    // variables (SILO_SOURCES, ...), not user-facing knobs — skip them.
     for (const TextFile &f : build_files) {
         for (std::size_t l = 0; l < f.lines.size(); ++l) {
             const std::string &ln = f.lines[l];
@@ -515,6 +572,432 @@ runEnvDocParity(const std::vector<SourceFile> &files,
             }
         }
         out.push_back(std::move(f));
+    }
+}
+
+// --- R6: module layering / include cycles --------------------------
+
+namespace
+{
+
+/**
+ * Layer of @p path: the directory directly under src/, "src" for
+ * files at the src/ root (umbrella headers), empty — unconstrained —
+ * outside src/ (tests, bench, tools and fixtures may include
+ * anything).
+ */
+std::string
+moduleOf(const std::string &path)
+{
+    if (path.rfind("src/", 0) != 0)
+        return "";
+    std::size_t slash = path.find('/', 4);
+    if (slash == std::string::npos)
+        return "src";
+    return path.substr(4, slash - 4);
+}
+
+/**
+ * The directed module DAG (DESIGN.md §4g): for each layer, the set of
+ * layers it may include. sim is the bottom; the memory system stacks
+ * nvm < mc < mem; the scheme layers log < silo sit on the memory
+ * system; core drives schemes with workloads; check observes
+ * everything below it through sim-level interfaces; harness (and the
+ * src/ root umbrella) is the top.
+ */
+const std::map<std::string, std::set<std::string>> &
+allowedLayers()
+{
+    static const std::map<std::string, std::set<std::string>> table = {
+        {"sim", {"sim"}},
+        {"workload", {"sim", "workload"}},
+        {"energy", {"energy", "sim"}},
+        {"nvm", {"nvm", "sim"}},
+        {"mc", {"mc", "nvm", "sim"}},
+        {"mem", {"mc", "mem", "nvm", "sim"}},
+        {"log", {"log", "mc", "mem", "nvm", "sim"}},
+        {"silo", {"log", "mc", "mem", "nvm", "silo", "sim"}},
+        {"core", {"core", "log", "mc", "mem", "nvm", "sim",
+                  "workload"}},
+        {"check", {"check", "core", "energy", "log", "mc", "mem",
+                   "nvm", "silo", "sim", "workload"}},
+        {"harness", {"check", "core", "energy", "harness", "log",
+                     "mc", "mem", "nvm", "silo", "sim", "src",
+                     "workload"}},
+        {"src", {"check", "core", "energy", "harness", "log", "mc",
+                 "mem", "nvm", "silo", "sim", "src", "workload"}},
+    };
+    return table;
+}
+
+std::string
+joinSet(const std::set<std::string> &s)
+{
+    std::string out;
+    for (const std::string &e : s)
+        out += (out.empty() ? "" : ", ") + e;
+    return out;
+}
+
+} // namespace
+
+void
+runLayering(const std::vector<SourceFile> &files,
+            std::vector<Finding> &out)
+{
+    std::set<std::string> known;
+    for (const SourceFile &f : files)
+        known.insert(f.path);
+
+    // Resolve an include the way the build's include dirs do: against
+    // src/, the including file's directory, tools/, then the root.
+    // Only paths inside the scanned corpus resolve (everything else
+    // is a system or third-party header the DAG does not constrain).
+    auto resolve = [&](const std::string &from,
+                       const std::string &inc) -> std::string {
+        if (known.count("src/" + inc))
+            return "src/" + inc;
+        std::size_t slash = from.find_last_of('/');
+        if (slash != std::string::npos) {
+            std::string sibling = from.substr(0, slash + 1) + inc;
+            if (known.count(sibling))
+                return sibling;
+        }
+        if (known.count("tools/" + inc))
+            return "tools/" + inc;
+        if (known.count(inc))
+            return inc;
+        return "";
+    };
+
+    struct Edge
+    {
+        std::string to;
+        int line;
+    };
+    std::map<std::string, std::vector<Edge>> graph;
+
+    for (const SourceFile &f : files) {
+        std::string from_mod = moduleOf(f.path);
+        auto allowed = allowedLayers().find(from_mod);
+        for (const IncludeDirective &inc : collectIncludes(f)) {
+            std::string target = resolve(f.path, inc.target);
+            if (!target.empty())
+                graph[f.path].push_back({target, inc.line});
+            std::string to_mod;
+            if (!target.empty()) {
+                to_mod = moduleOf(target);
+            } else {
+                // Unresolved (partial corpus, e.g. fixtures): the
+                // leading path component still names the layer.
+                std::size_t slash = inc.target.find('/');
+                if (slash != std::string::npos &&
+                    allowedLayers().count(inc.target.substr(0, slash)))
+                    to_mod = inc.target.substr(0, slash);
+            }
+            if (from_mod.empty() || to_mod.empty() ||
+                allowed == allowedLayers().end())
+                continue;   // unconstrained or unknown (new) layer
+            if (!allowed->second.count(to_mod)) {
+                out.push_back(make(
+                    f, inc.line, "R6", "module-layering",
+                    "'src/" + from_mod + "' may not include \"" +
+                        inc.target + "\" — the module DAG "
+                        "(DESIGN.md §4g) allows " + from_mod +
+                        " -> {" + joinSet(allowed->second) + "}"));
+            }
+        }
+    }
+
+    // File-level include cycles. Include guards hide them from the
+    // compiler and the layer table misses same-module ones; one
+    // finding per distinct cycle, at the edge that closes it.
+    std::set<std::string> done;
+    std::set<std::string> on_stack;
+    std::set<std::string> reported;
+    std::vector<std::string> stack;
+    std::function<void(const std::string &)> dfs =
+        [&](const std::string &node) {
+            stack.push_back(node);
+            on_stack.insert(node);
+            for (const Edge &e : graph[node]) {
+                if (on_stack.count(e.to)) {
+                    auto it = std::find(stack.begin(), stack.end(),
+                                        e.to);
+                    std::set<std::string> key_set(it, stack.end());
+                    if (reported.insert(joinSet(key_set)).second) {
+                        std::string path;
+                        for (auto p = it; p != stack.end(); ++p)
+                            path += *p + " -> ";
+                        path += e.to;
+                        out.push_back({node, e.line, "R6",
+                                       "module-layering",
+                                       "include cycle: " + path,
+                                       false, ""});
+                    }
+                    continue;
+                }
+                if (!done.count(e.to))
+                    dfs(e.to);
+            }
+            on_stack.erase(node);
+            stack.pop_back();
+            done.insert(node);
+        };
+    for (const SourceFile &f : files)
+        if (!done.count(f.path))
+            dfs(f.path);
+}
+
+// --- R7: callback lifetime -----------------------------------------
+
+void
+runCallbackLifetime(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::vector<Token> &t = file.code;
+    ScopeModel scopes(file);
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier ||
+            (t[i].text != "schedule" && t[i].text != "scheduleAfter") ||
+            t[i + 1].text != "(")
+            continue;
+        std::size_t close = matchDelim(t, i + 1, "(", ")");
+        for (std::size_t j = i + 2; j < close; ++j) {
+            if (t[j].kind != TokKind::Punct || t[j].text != "[")
+                continue;
+            const std::string &prev = t[j - 1].text;
+            if (prev != "(" && prev != ",")
+                continue;   // subscript, not a lambda introducer
+            std::size_t cap_close = matchDelim(t, j, "[", "]");
+            if (cap_close >= close)
+                continue;
+            for (std::size_t k = j + 1; k + 1 < cap_close + 1; ++k) {
+                if (k >= cap_close)
+                    break;
+                if (t[k].kind != TokKind::Punct || t[k].text != "&" ||
+                    k + 1 >= cap_close ||
+                    t[k + 1].kind != TokKind::Identifier)
+                    continue;
+                const std::string &name = t[k + 1].text;
+                if (!scopes.isLocalAt(j, name))
+                    continue;
+                out.push_back(make(
+                    file, t[k + 1].line, "R7", "callback-lifetime",
+                    "deferred " + t[i].text +
+                        "() callback captures local '" + name +
+                        "' by reference — the enclosing frame can be "
+                        "gone when the event dispatches; capture by "
+                        "value or through an owning object"));
+            }
+            j = cap_close;
+        }
+        i = close;
+    }
+}
+
+// --- R8: float accumulation under nondeterministic order -----------
+
+void
+runFloatDeterminism(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::vector<Token> &t = file.code;
+    std::set<std::string> floats = collectFloatNames(file);
+    if (floats.empty())
+        return;
+    std::set<std::string> unordered = unorderedNames(t);
+    static const std::set<std::string> worker_ids = {
+        "jobs",        "njobs",     "num_jobs",    "workers",
+        "nworkers",    "num_workers", "threads",   "nthreads",
+        "num_threads", "worker_count"};
+
+    struct Span
+    {
+        std::size_t begin, end;
+        std::string what;
+    };
+    std::vector<Span> spans;
+
+    // Loop body: the following brace block, or the statement up to
+    // the next top-level ';'.
+    auto bodySpan = [&](std::size_t after)
+        -> std::pair<std::size_t, std::size_t> {
+        if (after < t.size() && t[after].kind == TokKind::Punct &&
+            t[after].text == "{")
+            return {after + 1, matchDelim(t, after, "{", "}")};
+        std::size_t k = after;
+        int depth = 0;
+        for (; k < t.size(); ++k) {
+            if (t[k].kind != TokKind::Punct)
+                continue;
+            const std::string &p = t[k].text;
+            if (p == "(" || p == "{" || p == "[")
+                ++depth;
+            else if (p == ")" || p == "}" || p == "]")
+                --depth;
+            else if (p == ";" && depth == 0)
+                break;
+        }
+        return {after, k};
+    };
+
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier)
+            continue;
+        if (t[i].text == "for" && t[i + 1].text == "(") {
+            std::size_t close = matchDelim(t, i + 1, "(", ")");
+            int depth = 0;
+            std::size_t colon = 0;
+            for (std::size_t j = i + 1; j < close && !colon; ++j) {
+                if (t[j].kind != TokKind::Punct)
+                    continue;
+                const std::string &p = t[j].text;
+                if (p == "(" || p == "[" || p == "{")
+                    ++depth;
+                else if (p == ")" || p == "]" || p == "}")
+                    --depth;
+                else if (p == ":" && depth == 1)
+                    colon = j;
+            }
+            std::string what;
+            if (colon) {
+                for (std::size_t j = colon + 1; j < close; ++j) {
+                    if (t[j].kind == TokKind::Identifier &&
+                        unordered.count(t[j].text)) {
+                        what = "a range-for over unordered container "
+                               "'" + t[j].text + "'";
+                        break;
+                    }
+                }
+            } else {
+                for (std::size_t j = i + 2; j < close; ++j) {
+                    if (t[j].kind == TokKind::Identifier &&
+                        worker_ids.count(t[j].text)) {
+                        what = "a loop bounded by worker count '" +
+                               t[j].text + "'";
+                        break;
+                    }
+                }
+            }
+            if (!what.empty()) {
+                auto [b, e] = bodySpan(close + 1);
+                spans.push_back({b, e, std::move(what)});
+            }
+            continue;
+        }
+        if (t[i].text.rfind("parallel", 0) == 0 &&
+            t[i + 1].text == "(") {
+            std::size_t close = matchDelim(t, i + 1, "(", ")");
+            spans.push_back({i + 2, close,
+                             "a lambda passed to '" + t[i].text + "'"});
+        }
+    }
+
+    std::set<std::pair<int, std::string>> emitted;
+    for (const Span &s : spans) {
+        for (std::size_t k = s.begin;
+             k < s.end && k + 2 < t.size(); ++k) {
+            if (t[k].kind != TokKind::Identifier ||
+                !floats.count(t[k].text))
+                continue;
+            bool plus = t[k + 1].text == "+" && t[k + 2].text == "=";
+            bool minus = t[k + 1].text == "-" && t[k + 2].text == "=";
+            if (!plus && !minus)
+                continue;
+            if (!emitted.insert({t[k].line, t[k].text}).second)
+                continue;   // nested spans: report once
+            out.push_back(make(
+                file, t[k].line, "R8", "float-determinism",
+                "float accumulation '" + t[k].text +
+                    (plus ? " +=" : " -=") + "' inside " + s.what +
+                    " — the summation order is nondeterministic and "
+                    "floating-point addition is not associative"));
+        }
+    }
+}
+
+// --- R9: stats registration parity ---------------------------------
+
+void
+runStatsRegistration(const std::vector<SourceFile> &files,
+                     std::vector<Finding> &out)
+{
+    struct Decl
+    {
+        std::string file;
+        int line;
+        std::string name;
+        bool group;
+    };
+    std::vector<Decl> decls;
+    std::set<std::string> registered;   // addDistribution() arguments
+    std::set<std::string> used;         // identifiers in use position
+
+    for (const SourceFile &f : files) {
+        const std::vector<Token> &t = f.code;
+        bool in_src = f.path.rfind("src/", 0) == 0;
+        for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+            if (t[i].kind == TokKind::Identifier &&
+                t[i].text == "stats" && t[i + 1].text == "::" &&
+                (t[i + 2].text == "Distribution" ||
+                 t[i + 2].text == "StatGroup")) {
+                bool group = t[i + 2].text == "StatGroup";
+                std::size_t j = i + 3;
+                if (j + 1 >= t.size() || t[j].text == "&" ||
+                    t[j].text == "*")
+                    continue;   // reference/pointer: use, not ctor
+                if (t[j].kind != TokKind::Identifier)
+                    continue;
+                const std::string &next = t[j + 1].text;
+                bool ctor = next == "{" || next == ";" || next == "=" ||
+                            (next == "(" && j + 2 < t.size() &&
+                             t[j + 2].kind == TokKind::String);
+                if (in_src && ctor)
+                    decls.push_back(
+                        {f.path, t[j].line, t[j].text, group});
+                continue;
+            }
+            if (t[i].kind == TokKind::Identifier &&
+                t[i].text == "addDistribution" &&
+                t[i + 1].text == "(") {
+                std::size_t close = matchDelim(t, i + 1, "(", ")");
+                for (std::size_t k = i + 2;
+                     k < close && k < t.size(); ++k)
+                    if (t[k].kind == TokKind::Identifier)
+                        registered.insert(t[k].text);
+            }
+        }
+        for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+            if (t[i].kind != TokKind::Identifier)
+                continue;
+            const Token &prev = t[i - 1];
+            bool use =
+                t[i + 1].text == "." ||
+                (prev.kind == TokKind::Punct &&
+                 (prev.text == "(" || prev.text == "," ||
+                  prev.text == "&")) ||
+                (prev.kind == TokKind::Identifier &&
+                 prev.text == "return");
+            if (use)
+                used.insert(t[i].text);
+        }
+    }
+
+    for (const Decl &d : decls) {
+        if (!d.group && !registered.count(d.name)) {
+            out.push_back({d.file, d.line, "R9", "stats-registration",
+                           "stats::Distribution '" + d.name +
+                               "' is constructed but never passed to "
+                               "addDistribution() — it misses the "
+                               "silo-stats-v1 export and its "
+                               "countsConsistent() gate",
+                           false, ""});
+        } else if (d.group && !used.count(d.name)) {
+            out.push_back({d.file, d.line, "R9", "stats-registration",
+                           "stats::StatGroup '" + d.name +
+                               "' is constructed but never populated "
+                               "or exported",
+                           false, ""});
+        }
     }
 }
 

@@ -1,14 +1,18 @@
 /**
  * @file
- * The silo-lint rule catalogue (R1–R5) and per-rule matchers.
+ * The silo-lint rule catalogue (R1–R10) and per-rule matchers.
  *
  * Each rule is a pattern matcher over the token stream of one source
- * file (R1/R2/R4/R5) or over the whole scanned corpus plus the docs
- * (R3). Matchers emit Findings; the driver owns suppression handling
- * (`// silo-lint: allow(rule) reason`), sorting and serialization.
+ * file (R1/R2/R4/R5/R7/R8) or over the whole scanned corpus plus the
+ * docs (R3/R6/R9). The semantic rules (R6–R8) additionally lean on
+ * the lightweight declaration/scope layer in parse.hh. Matchers emit
+ * Findings; the driver owns suppression handling (`// silo-lint:
+ * allow(rule) reason`), the directive-hygiene rule R10, sorting and
+ * serialization.
  *
  * DESIGN.md §4f documents what each rule enforces and why, plus the
- * recipe for adding a new rule.
+ * recipe for adding a new rule; §4g covers the semantic layer and the
+ * module DAG that R6 enforces.
  */
 
 #ifndef SILO_LINT_RULES_HH
@@ -27,7 +31,7 @@ struct Finding
 {
     std::string file;     //!< root-relative path
     int line = 0;
-    std::string code;     //!< "R1".."R5", or "S0" for meta findings
+    std::string code;     //!< "R1".."R10", or "S0" for meta findings
     std::string rule;     //!< slug, e.g. "nondet-iteration"
     std::string message;
     bool suppressed = false;
@@ -79,14 +83,48 @@ void runStatsNames(const SourceFile &file, std::vector<Finding> &out);
 
 /**
  * R3: every SILO_* env var referenced in code (string literals in the
- * scanned sources, plus cache options in the build files) is
- * documented in the docs set, and every documented one exists in
- * code.
+ * scanned sources — tests included — plus any line of the build
+ * files) is documented in the docs set, and every documented one
+ * exists in code.
  */
 void runEnvDocParity(const std::vector<SourceFile> &files,
                      const std::vector<TextFile> &build_files,
                      const std::vector<TextFile> &docs,
                      std::vector<Finding> &out);
+
+/**
+ * R6: quoted includes respect the module DAG (directories under src/
+ * are layers; DESIGN.md §4g) and the file-level include graph of the
+ * scanned corpus is acyclic.
+ */
+void runLayering(const std::vector<SourceFile> &files,
+                 std::vector<Finding> &out);
+
+/**
+ * R7: no function-local or parameter captured by reference in a
+ * lambda handed to schedule()/scheduleAfter() — the frame is gone by
+ * dispatch time.
+ */
+void runCallbackLifetime(const SourceFile &file,
+                         std::vector<Finding> &out);
+
+/**
+ * R8: no float/double accumulation (+=, -=) inside iteration whose
+ * order is nondeterministic or worker-count-dependent: range-for over
+ * unordered containers, lambdas handed to parallel*() entry points,
+ * and loops bounded by a worker-count identifier.
+ */
+void runFloatDeterminism(const SourceFile &file,
+                         std::vector<Finding> &out);
+
+/**
+ * R9: every stats::Distribution constructed under src/ is registered
+ * through addDistribution() somewhere in the corpus (the path to the
+ * export and its countsConsistent() gate), and every stats::StatGroup
+ * constructed under src/ is populated or exported.
+ */
+void runStatsRegistration(const std::vector<SourceFile> &files,
+                          std::vector<Finding> &out);
 
 } // namespace silo::lint
 

@@ -80,6 +80,12 @@ class CheckedScheme : public log::LoggingScheme
         _checker.onRecoveryComplete(media, *_inner);
     }
 
+    bool
+    dropAtShutdown(Addr line) const override
+    {
+        return _inner->dropAtShutdown(line);
+    }
+
     const log::SchemeStats &schemeStats() const override
     {
         return _inner->schemeStats();

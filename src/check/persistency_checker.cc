@@ -1,5 +1,6 @@
 #include "check/persistency_checker.hh"
 
+#include <cstdio>
 #include <sstream>
 
 #include "log/logging_scheme.hh"
@@ -23,6 +24,61 @@ violationName(ViolationKind kind)
       case ViolationKind::CrashClosure: return "crash-closure";
     }
     return "unknown";
+}
+
+ViolationKind
+violationKindFromName(const std::string &name)
+{
+    for (ViolationKind kind :
+         {ViolationKind::LogBeforeData, ViolationKind::CommitNotDurable,
+          ViolationKind::HeldReleaseOrdering,
+          ViolationKind::FlushBitAccounting, ViolationKind::DoublePersist,
+          ViolationKind::TornWrite, ViolationKind::CrashClosure}) {
+        if (name == violationName(kind))
+            return kind;
+    }
+    fatal("unknown violation kind: " + name);
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Violation::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"kind\": \"" << violationName(kind) << "\", \"tick\": "
+       << tick << ", \"core\": " << core << ", \"txid\": " << txid
+       << ", \"addr\": \"0x" << std::hex << addr << std::dec
+       << "\", \"crash_index\": " << crashIndex << ", \"detail\": \""
+       << jsonEscape(detail) << "\"}";
+    return os.str();
 }
 
 PersistencyChecker::PersistencyChecker(const SimConfig &cfg,

@@ -70,8 +70,17 @@ enum class ViolationKind
     CrashClosure,       //!< recovered image differs from the oracle
 };
 
-/** @return short display name of a violation kind. */
+/**
+ * @return short kebab-case name of a violation kind.
+ *
+ * These names are a STABLE machine-readable encoding: committed litmus
+ * fixtures (tests/check/litmus/) and the fuzzer's shrink logs match on
+ * them, so renaming one is a format break, not a cosmetic change.
+ */
 const char *violationName(ViolationKind kind);
+
+/** Parse a violationName() back to its kind; fatal() if unknown. */
+ViolationKind violationKindFromName(const std::string &name);
 
 /** One detected invariant violation, with provenance. */
 struct Violation
@@ -82,6 +91,20 @@ struct Violation
     std::uint16_t txid = 0; //!< owning transaction (or 0 if unknown)
     Addr addr = 0;          //!< word or line address involved
     std::string detail;     //!< human-readable description
+    /**
+     * Event index the run's crash was injected at; 0 = no injected
+     * crash. The checker itself cannot know this — the crash harness
+     * (src/fuzz, bench/check_all) stamps it before serializing.
+     */
+    std::uint64_t crashIndex = 0;
+
+    /**
+     * One-line JSON object: {"kind","tick","core","txid","addr",
+     * "crash_index","detail"} with addr as a "0x..." hex string. The
+     * field set and spelling are stable — the shrinker, check_all and
+     * the fixture files all consume it.
+     */
+    std::string toJson() const;
 };
 
 /** Event counters (observability + tests). */

@@ -1,0 +1,65 @@
+#include "fuzz/fuzz_runner.hh"
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+
+namespace silo::fuzz
+{
+
+SimConfig
+litmusSimConfig(unsigned threads, SchemeKind scheme,
+                MutationKind mutation)
+{
+    SimConfig cfg;
+    cfg.numCores = threads;
+    cfg.scheme = scheme;
+    cfg.checker = true;
+    cfg.mutation = mutation;
+    // Tiny caches + log buffer: a handful of stores already causes
+    // evictions, overflow and on-PM buffer churn (tests/check idiom).
+    cfg.l1d = {1024, 2, 4};
+    cfg.l2 = {2048, 2, 12};
+    cfg.l3 = {4096, 4, 28};
+    cfg.logBufferEntries = 12;
+    cfg.validate();
+    return cfg;
+}
+
+FuzzCaseResult
+runLitmusCase(const workload::WorkloadTraces &traces, unsigned threads,
+              const FuzzCaseConfig &cfg)
+{
+    SimConfig sim =
+        litmusSimConfig(threads, cfg.scheme, cfg.mutation);
+    harness::System sys(sim, traces);
+    if (cfg.crashIndex == 0) {
+        sys.run();
+        sys.settle();
+        sys.drainToMedia();
+    } else {
+        sys.runEvents(cfg.crashIndex);
+        sys.crash();
+        sys.recover();
+    }
+
+    const check::PersistencyChecker &ck = *sys.checker();
+    FuzzCaseResult result;
+    result.violations = ck.violations();
+    for (check::Violation &v : result.violations)
+        v.crashIndex = cfg.crashIndex;
+    result.executedEvents = sys.eventQueue().executedEvents();
+    result.commits = ck.counters().commits;
+    return result;
+}
+
+FuzzCaseResult
+runLitmusCase(const workload::LitmusProgram &program,
+              const FuzzCaseConfig &cfg)
+{
+    if (program.threads.empty())
+        fatal("litmus case: program has no threads");
+    return runLitmusCase(workload::litmusTraces(program),
+                         unsigned(program.threads.size()), cfg);
+}
+
+} // namespace silo::fuzz

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Single-case execution for the litmus fuzzer: run one litmus program
+ * on one scheme, optionally with a seeded mutation and a crash
+ * injected at a given event index, and return the persistency
+ * checker's verdict.
+ *
+ * The simulated machine is a FIXED deterministic function of
+ * (program, scheme, mutation) — litmusSimConfig() — so a committed
+ * fixture only needs to record those three plus the crash index to be
+ * replayable bit-for-bit. The config shrinks the caches and the log
+ * buffer far below the paper's Table II on purpose: tiny programs must
+ * still reach evictions, log-buffer overflow and on-PM buffer churn
+ * within a few hundred events.
+ */
+
+#ifndef SILO_FUZZ_FUZZ_RUNNER_HH
+#define SILO_FUZZ_FUZZ_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "check/persistency_checker.hh"
+#include "sim/config.hh"
+#include "workload/litmus.hh"
+
+namespace silo::fuzz
+{
+
+/** Everything about one case except the program itself. */
+struct FuzzCaseConfig
+{
+    SchemeKind scheme = SchemeKind::Silo;
+    /** Seeded checker bug (the fuzzer's self-test target). */
+    MutationKind mutation = MutationKind::None;
+    /**
+     * Crash after this many executed events; 0 = run to completion
+     * (settle + clean drain, no crash or recovery).
+     */
+    std::uint64_t crashIndex = 0;
+};
+
+/** Verdict of one case. */
+struct FuzzCaseResult
+{
+    /** Checker findings, each stamped with the case's crashIndex. */
+    std::vector<check::Violation> violations;
+    /** Events the run actually executed (completion runs bound the
+     *  crash sweep: every k in [1, executedEvents] is reachable). */
+    std::uint64_t executedEvents = 0;
+    /** Durably committed transactions (checker's count). */
+    std::uint64_t commits = 0;
+
+    bool clean() const { return violations.empty(); }
+};
+
+/**
+ * The fixed simulated-machine configuration of a litmus case.
+ * @p threads must be the program's thread count (= core count).
+ */
+SimConfig litmusSimConfig(unsigned threads, SchemeKind scheme,
+                          MutationKind mutation = MutationKind::None);
+
+/** Run one case on pre-compiled traces (@p threads as above). */
+FuzzCaseResult runLitmusCase(const workload::WorkloadTraces &traces,
+                             unsigned threads,
+                             const FuzzCaseConfig &cfg);
+
+/** Convenience: compile @p program and run one case. */
+FuzzCaseResult runLitmusCase(const workload::LitmusProgram &program,
+                             const FuzzCaseConfig &cfg);
+
+} // namespace silo::fuzz
+
+#endif // SILO_FUZZ_FUZZ_RUNNER_HH

@@ -1,0 +1,168 @@
+#include "fuzz/litmus_gen.hh"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace silo::fuzz
+{
+
+using workload::LitmusOp;
+using workload::LitmusProgram;
+using workload::LitmusThread;
+using workload::LitmusTx;
+using workload::litmusInitialValue;
+
+namespace
+{
+
+void
+addRun(std::vector<Addr> &out, Addr start, unsigned words)
+{
+    for (unsigned i = 0; i < words; ++i)
+        out.push_back(start + Addr(i) * wordBytes);
+}
+
+/**
+ * Boundary flavor: word offsets anchored on the geometry the torn /
+ * merging invariants care about — a full 64 B cacheline, runs
+ * straddling a cacheline boundary, runs straddling the 256 B on-PM
+ * buffer line boundary — plus two conflict lines for mild eviction
+ * pressure.
+ */
+std::vector<Addr>
+boundaryCandidates()
+{
+    std::vector<Addr> out;
+    addRun(out, 0x00, 8);                    // one full cacheline
+    addRun(out, 0x38, 2);                    // straddles 64 B boundary
+    addRun(out, 0xF0, 4);                    // straddles 256 B boundary
+    addRun(out, Addr(pmBufferLineBytes) * 3 - wordBytes, 2);
+    addRun(out, 0x400, 2);
+    addRun(out, 0x800, 2);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+/**
+ * Conflict flavor: under the fuzz config's tiny caches every line at
+ * a 0x400 stride maps to the SAME set, which has only 2+2+4 ways of
+ * capacity across L1/L2/L3. A thread hammering these twelve aliasing
+ * lines overflows all three levels, so lines of the still-open
+ * transaction get evicted into the persistent domain mid-transaction —
+ * the micro-state behind invariant 1, Silo's flush-bit rules, and the
+ * crash-recovery mutants. One word per line keeps the pool small
+ * enough that a single long transaction can cover most of the set.
+ */
+std::vector<Addr>
+conflictCandidates()
+{
+    std::vector<Addr> out;
+    addRun(out, 0x00, 2);
+    addRun(out, 0x38, 1); // last word of line 0 (64 B straddle seed)
+    for (unsigned i = 1; i <= 11; ++i)
+        addRun(out, Addr(i) * 0x400, 1);
+    return out;
+}
+
+struct ThreadPool
+{
+    std::vector<Addr> words;
+    /** Conflict threads walk their pool sequentially (below). */
+    bool conflict = false;
+};
+
+/** Pick a thread's pool: conflict flavor keeps its whole aliasing set
+ *  (it cannot overflow the caches with a subset); the boundary flavor
+ *  samples @p cfg.poolWords distinct offsets so tight pools force
+ *  write-set overlap. */
+ThreadPool
+samplePool(Rng &rng, const LitmusGenConfig &cfg)
+{
+    if (rng.chance(cfg.conflictThreadFraction))
+        return {conflictCandidates(), true};
+    std::vector<Addr> candidates = boundaryCandidates();
+    if (cfg.poolWords >= candidates.size())
+        return {std::move(candidates), false};
+    std::vector<Addr> pool;
+    while (pool.size() < cfg.poolWords) {
+        Addr pick = candidates[rng.below(candidates.size())];
+        if (std::find(pool.begin(), pool.end(), pick) == pool.end())
+            pool.push_back(pick);
+    }
+    return {std::move(pool), false};
+}
+
+} // namespace
+
+LitmusProgram
+generateLitmus(Rng &rng, const LitmusGenConfig &cfg,
+               const std::string &label)
+{
+    if (cfg.minThreads == 0 || cfg.minThreads > cfg.maxThreads ||
+        cfg.minTxPerThread > cfg.maxTxPerThread ||
+        cfg.maxOpsPerTx == 0 || cfg.poolWords == 0)
+        fatal("litmus generator: inconsistent shape configuration");
+
+    LitmusProgram program;
+    program.name = label;
+    unsigned threads =
+        unsigned(rng.range(cfg.minThreads, cfg.maxThreads));
+    Word next_value = 1; // small ints, disjoint from initial values
+
+    for (unsigned t = 0; t < threads; ++t) {
+        LitmusThread thread;
+        ThreadPool pool = samplePool(rng, cfg);
+        // Conflict threads walk their aliasing set sequentially from a
+        // random start: a 10-op transaction then touches 10 DISTINCT
+        // same-set lines, guaranteed to overflow the set's 8 ways and
+        // evict the transaction's own earliest lines while it is still
+        // open. Uniform sampling almost never covers enough lines.
+        std::size_t walk = rng.below(pool.words.size());
+        // Current functional value per word (silent-store source).
+        std::map<Addr, Word> current;
+        unsigned txs =
+            unsigned(rng.range(cfg.minTxPerThread, cfg.maxTxPerThread));
+
+        for (unsigned i = 0; i < txs; ++i) {
+            LitmusTx tx;
+            unsigned ops = rng.chance(cfg.emptyTxFraction)
+                               ? 0
+                               : unsigned(rng.range(1, cfg.maxOpsPerTx));
+            for (unsigned j = 0; j < ops; ++j) {
+                Addr offset =
+                    pool.conflict
+                        ? pool.words[walk++ % pool.words.size()]
+                        : pool.words[rng.below(pool.words.size())];
+                if (rng.chance(cfg.loadFraction)) {
+                    tx.ops.push_back(
+                        {LitmusOp::Kind::Load, offset, 0});
+                    continue;
+                }
+                Word value;
+                if (rng.chance(cfg.silentStoreFraction)) {
+                    auto it = current.find(offset);
+                    value = it != current.end()
+                                ? it->second
+                                : litmusInitialValue(offset);
+                } else {
+                    value = next_value++;
+                }
+                current[offset] = value;
+                tx.ops.push_back({LitmusOp::Kind::Store, offset, value});
+            }
+            tx.commit = true;
+            thread.txs.push_back(std::move(tx));
+        }
+        if (!thread.txs.empty() && rng.chance(cfg.abortFraction))
+            thread.txs.back().commit = false;
+        program.threads.push_back(std::move(thread));
+    }
+    validateLitmus(program);
+    return program;
+}
+
+} // namespace silo::fuzz

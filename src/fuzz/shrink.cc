@@ -1,0 +1,178 @@
+#include "fuzz/shrink.hh"
+
+#include "sim/logging.hh"
+
+namespace silo::fuzz
+{
+
+using workload::LitmusProgram;
+
+namespace
+{
+
+/** Budgeted, counting wrapper around the user oracle. */
+struct BudgetedOracle
+{
+    const ShrinkOracle &oracle;
+    std::size_t budget;
+    std::size_t calls = 0;
+
+    bool exhausted() const { return calls >= budget; }
+
+    /** false when out of budget (treat as "candidate does not fail"). */
+    bool
+    fails(const LitmusProgram &program, std::uint64_t crash)
+    {
+        if (exhausted())
+            return false;
+        ++calls;
+        return oracle(program, crash);
+    }
+};
+
+/**
+ * One greedy removal pass: for each candidate index (descending, so
+ * earlier indices stay valid), build the program without it and keep
+ * the removal if the oracle still fails. @p count and @p removed
+ * operate on the current program.
+ * @return true if anything was removed.
+ */
+template <typename CountFn, typename RemoveFn>
+bool
+removalPass(LitmusProgram &best, std::uint64_t crash,
+            BudgetedOracle &oracle, CountFn count, RemoveFn removed)
+{
+    bool shrunk = false;
+    // Descending index: a removal at i only shifts items above i,
+    // which this pass has already visited (the fixpoint loop retries).
+    for (std::size_t i = count(best); i-- > 0;) {
+        LitmusProgram candidate = removed(best, i);
+        if (candidate.threads.empty())
+            continue; // validateLitmus requires at least one thread
+        if (oracle.fails(candidate, crash)) {
+            best = std::move(candidate);
+            shrunk = true;
+        }
+        if (oracle.exhausted())
+            break;
+    }
+    return shrunk;
+}
+
+std::size_t
+threadCount(const LitmusProgram &p)
+{
+    return p.threads.size();
+}
+
+LitmusProgram
+withoutThread(const LitmusProgram &p, std::size_t t)
+{
+    LitmusProgram out = p;
+    out.threads.erase(out.threads.begin() + std::ptrdiff_t(t));
+    return out;
+}
+
+/** Transactions are addressed by a flat (thread, tx) rank. */
+std::size_t
+txCount(const LitmusProgram &p)
+{
+    return p.txCount();
+}
+
+LitmusProgram
+withoutTx(const LitmusProgram &p, std::size_t rank)
+{
+    LitmusProgram out = p;
+    for (auto &thread : out.threads) {
+        if (rank < thread.txs.size()) {
+            thread.txs.erase(thread.txs.begin() +
+                             std::ptrdiff_t(rank));
+            return out;
+        }
+        rank -= thread.txs.size();
+    }
+    panic("shrink: tx rank out of range");
+}
+
+std::size_t
+opCount(const LitmusProgram &p)
+{
+    return p.opCount();
+}
+
+LitmusProgram
+withoutOp(const LitmusProgram &p, std::size_t rank)
+{
+    LitmusProgram out = p;
+    for (auto &thread : out.threads) {
+        for (auto &tx : thread.txs) {
+            if (rank < tx.ops.size()) {
+                tx.ops.erase(tx.ops.begin() + std::ptrdiff_t(rank));
+                return out;
+            }
+            rank -= tx.ops.size();
+        }
+    }
+    panic("shrink: op rank out of range");
+}
+
+/**
+ * Minimize the crash index: coarse geometric descent (steps of k/2,
+ * k/4, ... events) followed by a linear refinement. Failures need not
+ * be monotonic in the crash index, so this finds a small — not
+ * provably smallest — reproducing index, deterministically.
+ */
+std::uint64_t
+minimizeCrash(const LitmusProgram &program, std::uint64_t crash,
+              BudgetedOracle &oracle)
+{
+    if (crash == 0)
+        return 0; // completion-run failure: nothing to minimize
+    for (std::uint64_t step = crash / 2; step > 0; step /= 2) {
+        while (crash > step &&
+               oracle.fails(program, crash - step)) {
+            crash -= step;
+        }
+        if (oracle.exhausted())
+            return crash;
+    }
+    while (crash > 1 && oracle.fails(program, crash - 1))
+        --crash;
+    return crash;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkLitmus(const LitmusProgram &program, std::uint64_t crash_index,
+             const ShrinkOracle &oracle, const ShrinkOptions &opts)
+{
+    BudgetedOracle budgeted{oracle, opts.maxOracleCalls};
+    if (!budgeted.fails(program, crash_index))
+        fatal("shrinkLitmus: the input case does not fail its oracle");
+
+    LitmusProgram best = program;
+    // Structural passes to a fixpoint: coarse (threads) to fine (ops).
+    // Each pass can expose new removals for the others (e.g. dropping
+    // an op can make its transaction removable).
+    bool shrunk = true;
+    while (shrunk && !budgeted.exhausted()) {
+        shrunk = false;
+        shrunk |= removalPass(best, crash_index, budgeted, threadCount,
+                              withoutThread);
+        shrunk |= removalPass(best, crash_index, budgeted, txCount,
+                              withoutTx);
+        shrunk |= removalPass(best, crash_index, budgeted, opCount,
+                              withoutOp);
+    }
+    std::uint64_t crash = minimizeCrash(best, crash_index, budgeted);
+
+    ShrinkResult result;
+    result.program = std::move(best);
+    result.crashIndex = crash;
+    result.oracleCalls = budgeted.calls;
+    return result;
+}
+
+} // namespace silo::fuzz

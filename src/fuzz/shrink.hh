@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic delta-debugging shrinker for failing litmus cases.
+ *
+ * Given a (program, crash index) pair and an oracle that answers "does
+ * this candidate still fail the same way?", the shrinker greedily
+ * removes threads, then transactions, then individual operations (to a
+ * fixpoint), and finally minimizes the crash index — always testing
+ * candidates in a fixed order, so a given failing case always shrinks
+ * to the same minimal reproducer regardless of wall clock or host.
+ *
+ * The oracle defines "fails the same way" (the campaign matches the
+ * violation kind, not just any violation) and is the only place a
+ * simulation runs; the shrinker itself is pure control flow. Oracle
+ * invocations are capped (ShrinkOptions::maxOracleCalls) so a
+ * pathological case degrades to a larger-than-minimal reproducer, not
+ * a hung fuzz run.
+ */
+
+#ifndef SILO_FUZZ_SHRINK_HH
+#define SILO_FUZZ_SHRINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "workload/litmus.hh"
+
+namespace silo::fuzz
+{
+
+/**
+ * @return true if the candidate still exhibits the original failure.
+ * The crash index carries the completion-run convention of
+ * FuzzCaseConfig: 0 means "no crash"; a crash index beyond the
+ * candidate's event count crashes after the last event.
+ */
+using ShrinkOracle = std::function<bool(
+    const workload::LitmusProgram &, std::uint64_t crash_index)>;
+
+struct ShrinkOptions
+{
+    /** Upper bound on oracle invocations (simulation runs). */
+    std::size_t maxOracleCalls = 4000;
+};
+
+struct ShrinkResult
+{
+    workload::LitmusProgram program;
+    std::uint64_t crashIndex = 0;
+    /** Oracle invocations actually spent. */
+    std::size_t oracleCalls = 0;
+};
+
+/**
+ * Shrink a failing (@p program, @p crash_index) case. @p oracle must
+ * return true for the input pair (fatal() otherwise — a shrink of a
+ * non-failing case is a harness bug).
+ */
+ShrinkResult shrinkLitmus(const workload::LitmusProgram &program,
+                          std::uint64_t crash_index,
+                          const ShrinkOracle &oracle,
+                          const ShrinkOptions &opts = {});
+
+} // namespace silo::fuzz
+
+#endif // SILO_FUZZ_SHRINK_HH

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "sim/sha256.hh"
+
 namespace silo::harness
 {
 
@@ -46,6 +48,10 @@ TraceCache::key(const workload::TraceGenConfig &cfg)
         << '/' << cfg.transactionsPerThread << '/'
         << cfg.opsPerTransaction << '/' << cfg.seed << '/'
         << cfg.options.tpccAllTxTypes;
+    // Litmus traces are a pure function of the program text, which the
+    // generic knobs above don't capture.
+    if (cfg.kind == workload::WorkloadKind::Litmus)
+        key << '/' << sha256Hex(cfg.options.litmus);
     return key.str();
 }
 

@@ -168,7 +168,12 @@ void
 System::drainToMedia()
 {
     // Clean shutdown: write back every dirty line, then drain queues.
+    // Lines of a still-open transaction (a trace can end inside one —
+    // litmus `tx abort`) are dropped with the volatile caches when the
+    // scheme's only revocation mechanism for them is discard.
     for (Addr line : _hierarchy->allDirtyLines()) {
+        if (_scheme->dropAtShutdown(line))
+            continue;
         std::array<Word, wordsPerLine> values;
         for (unsigned w = 0; w < wordsPerLine; ++w)
             values[w] = _values.load(line + Addr(w) * wordBytes);

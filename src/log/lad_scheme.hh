@@ -43,6 +43,12 @@ class LadScheme : public LoggingScheme
     bool lastTxCommittedAtCrash(unsigned core) const override;
     void recover(WordStore &media) override;
 
+    /** An open transaction's lines are revocable only by discard. */
+    bool dropAtShutdown(Addr line) const override
+    {
+        return lineIsUncommitted(line);
+    }
+
     std::uint64_t overflowFallbacks() const
     {
         return _fallbacks.value();

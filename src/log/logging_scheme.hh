@@ -151,6 +151,23 @@ class LoggingScheme
     /** Post-crash recovery: restore atomic durability in @p media. */
     virtual void recover(WordStore &media) { (void)media; }
 
+    /**
+     * @return true if a clean shutdown must DROP @p line instead of
+     * writing it back: the line carries data of a still-open
+     * transaction whose only revocation mechanism is discard (LAD's
+     * held lines). A trace can end inside a transaction (litmus
+     * `tx abort`), and flushing such a line at drainToMedia() would
+     * push an unrevocable uncommitted value into the persistent
+     * domain. Schemes whose uncommitted lines always have durable
+     * undo coverage keep the default: write-back is safe, recovery
+     * could always revoke it.
+     */
+    virtual bool dropAtShutdown(Addr line) const
+    {
+        (void)line;
+        return false;
+    }
+
     /** Virtual so decorators (check::CheckedScheme) can forward. */
     virtual const SchemeStats &schemeStats() const { return _stats; }
 

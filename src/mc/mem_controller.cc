@@ -274,8 +274,15 @@ MemController::crashDrain()
 void
 MemController::drainAll()
 {
-    for (const auto &e : _wpq)
-        applyEntry(e);
+    // Held entries are revocable-uncommitted (LAD): the final drain
+    // discards them exactly like a crash would — applying them would
+    // put uncommitted data on media with nothing to revoke it.
+    for (const auto &e : _wpq) {
+        if (!e.held)
+            applyEntry(e);
+        else if (_check)
+            _check->onHeldDiscard(e.key);
+    }
     _wpq.clear();
     _heldCount = 0;
     _pm.drainAll();

@@ -112,7 +112,8 @@ class MemController
      */
     void crashDrain();
 
-    /** End of run: drain everything, ignoring timing. */
+    /** End of run: drain everything drainable, ignoring timing; held
+     *  (revocable-uncommitted) entries are discarded like a crash. */
     void drainAll();
 
     /** @name Statistics */

@@ -48,6 +48,25 @@ schemeName(SchemeKind kind)
     panic("unknown scheme kind");
 }
 
+/** All six durability designs, in the paper's comparison order. */
+inline constexpr SchemeKind allSchemes[] = {
+    SchemeKind::Base, SchemeKind::Fwb,  SchemeKind::MorLog,
+    SchemeKind::Lad,  SchemeKind::Silo, SchemeKind::SwEadr,
+};
+
+/** Parse a schemeName() back to its kind; fatal() if unknown. */
+inline SchemeKind
+schemeFromName(const std::string &name)
+{
+    for (SchemeKind kind : allSchemes) {
+        if (name == schemeName(kind))
+            return kind;
+    }
+    if (name == schemeName(SchemeKind::None))
+        return SchemeKind::None;
+    fatal("unknown scheme: " + name);
+}
+
 /**
  * Deliberately seeded durability bugs (the checker's mutation harness).
  *
@@ -67,6 +86,45 @@ enum class MutationKind
     SkipCrashUndoFlush, //!< Silo: battery drops uncommitted undo logs
     DoubleInPlace,      //!< Silo: in-place update ignores flush-bits
 };
+
+/** @return stable kebab-case name of a seeded mutation. */
+inline const char *
+mutationName(MutationKind kind)
+{
+    switch (kind) {
+      case MutationKind::None: return "none";
+      case MutationKind::DropUndoLog: return "drop-undo-log";
+      case MutationKind::ReorderLogData: return "reorder-log-data";
+      case MutationKind::SkipCommitMarker: return "skip-commit-marker";
+      case MutationKind::DropHeldRelease: return "drop-held-release";
+      case MutationKind::StaleFlushBit: return "stale-flush-bit";
+      case MutationKind::SkipCrashUndoFlush:
+        return "skip-crash-undo-flush";
+      case MutationKind::DoubleInPlace: return "double-in-place";
+    }
+    panic("unknown mutation kind");
+}
+
+/** All seeded mutations (without None), for the fuzzer's bug harness. */
+inline constexpr MutationKind allMutations[] = {
+    MutationKind::DropUndoLog,        MutationKind::ReorderLogData,
+    MutationKind::SkipCommitMarker,   MutationKind::DropHeldRelease,
+    MutationKind::StaleFlushBit,      MutationKind::SkipCrashUndoFlush,
+    MutationKind::DoubleInPlace,
+};
+
+/** Parse a mutationName() back to its kind; fatal() if unknown. */
+inline MutationKind
+mutationFromName(const std::string &name)
+{
+    if (name == mutationName(MutationKind::None))
+        return MutationKind::None;
+    for (MutationKind kind : allMutations) {
+        if (name == mutationName(kind))
+            return kind;
+    }
+    fatal("unknown mutation: " + name);
+}
 
 /** Geometry and latency of one cache level. */
 struct CacheConfig

@@ -5,6 +5,7 @@
 
 #include "sim/rng.hh"
 #include "workload/func_mem.hh"
+#include "workload/litmus.hh"
 #include "workload/trace_recorder.hh"
 
 namespace silo::workload
@@ -13,6 +14,13 @@ namespace silo::workload
 WorkloadTraces
 generateTraces(const TraceGenConfig &cfg)
 {
+    if (cfg.kind == WorkloadKind::Litmus) {
+        // A litmus program is fully explicit: thread count, per-thread
+        // transaction counts and abort markers all come from the
+        // program text, so the generic knobs below do not apply.
+        return litmusTraces(parseLitmus(cfg.options.litmus).program);
+    }
+
     WorkloadTraces out;
     out.threads.resize(cfg.numThreads);
 

@@ -37,6 +37,12 @@ enum class WorkloadKind
     Ctrie,
     Tatp,
     Bank,
+    /**
+     * Declarative litmus program (workload/litmus.hh), driven by
+     * WorkloadOptions::litmus. Deliberately absent from allWorkloads:
+     * it has no meaning without a program attached.
+     */
+    Litmus,
 };
 
 /** @return display name matching the paper's figures. */
@@ -50,6 +56,11 @@ struct WorkloadOptions
 {
     /** TPCC: run all five transaction types (§VI-D) vs New-Order only. */
     bool tpccAllTxTypes = false;
+    /**
+     * Litmus only: the serialized "litmus v1" program text
+     * (workload/litmus.hh). Ignored by every other workload kind.
+     */
+    std::string litmus;
 };
 
 /**

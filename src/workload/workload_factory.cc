@@ -6,6 +6,7 @@
 #include "workload/btree_workload.hh"
 #include "workload/ctrie_workload.hh"
 #include "workload/hash_workload.hh"
+#include "workload/litmus.hh"
 #include "workload/queue_workload.hh"
 #include "workload/rbtree_workload.hh"
 #include "workload/rtree_workload.hh"
@@ -31,6 +32,7 @@ workloadName(WorkloadKind kind)
       case WorkloadKind::Ctrie: return "Ctrie";
       case WorkloadKind::Tatp: return "TATP";
       case WorkloadKind::Bank: return "Bank";
+      case WorkloadKind::Litmus: return "Litmus";
     }
     panic("unknown workload kind");
 }
@@ -42,6 +44,10 @@ workloadFromName(const std::string &name)
         if (name == workloadName(kind))
             return kind;
     }
+    // Not part of allWorkloads (needs a program attached), but still
+    // round-trips through the sweep labels and results JSON.
+    if (name == workloadName(WorkloadKind::Litmus))
+        return WorkloadKind::Litmus;
     fatal("unknown workload: " + name);
 }
 
@@ -71,6 +77,11 @@ makeWorkload(WorkloadKind kind, const WorkloadOptions &opts)
         return std::make_unique<TatpWorkload>();
       case WorkloadKind::Bank:
         return std::make_unique<BankWorkload>();
+      case WorkloadKind::Litmus:
+        if (opts.litmus.empty())
+            fatal("Litmus workload needs WorkloadOptions::litmus");
+        return std::make_unique<LitmusWorkload>(
+            parseLitmus(opts.litmus).program);
     }
     panic("unknown workload kind");
 }

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the delta-debugging shrinker against synthetic oracles
+ * (no simulation): golden minimal reproducers, determinism, and the
+ * oracle-call budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/shrink.hh"
+
+namespace silo::fuzz
+{
+namespace
+{
+
+using workload::LitmusOp;
+using workload::LitmusProgram;
+using workload::LitmusThread;
+using workload::LitmusTx;
+using workload::serializeLitmus;
+
+/** Three threads, several transactions, one "poison" store. */
+LitmusProgram
+bigProgram()
+{
+    LitmusProgram p;
+    p.name = "shrink-input";
+    for (unsigned t = 0; t < 3; ++t) {
+        LitmusThread thread;
+        for (unsigned i = 0; i < 3; ++i) {
+            LitmusTx tx;
+            for (unsigned j = 0; j < 4; ++j) {
+                tx.ops.push_back({LitmusOp::Kind::Store,
+                                  Addr(0x40) * (j + 1),
+                                  Word(t * 100 + i * 10 + j)});
+            }
+            thread.txs.push_back(tx);
+        }
+        p.threads.push_back(thread);
+    }
+    // The poison: one store to a unique offset in thread 1, tx 1.
+    p.threads[1].txs[1].ops[2] = {LitmusOp::Kind::Store, 0x800, 999};
+    return p;
+}
+
+/** Fails iff the candidate still contains the poison store. */
+bool
+containsPoison(const LitmusProgram &p, std::uint64_t)
+{
+    for (const auto &thread : p.threads)
+        for (const auto &tx : thread.txs)
+            for (const auto &op : tx.ops)
+                if (op.offset == 0x800)
+                    return true;
+    return false;
+}
+
+TEST(Shrink, ReducesToSinglePoisonOp)
+{
+    ShrinkResult r = shrinkLitmus(bigProgram(), 40, containsPoison);
+    ASSERT_EQ(r.program.threads.size(), 1u);
+    ASSERT_EQ(r.program.txCount(), 1u);
+    ASSERT_EQ(r.program.opCount(), 1u);
+    EXPECT_EQ(r.program.threads[0].txs[0].ops[0].offset, 0x800u);
+    // The oracle ignores the crash index, so it minimizes all the way
+    // down to 1 — never to 0, which would silently convert the crash
+    // case into a completion run (different semantics).
+    EXPECT_EQ(r.crashIndex, 1u);
+    EXPECT_TRUE(containsPoison(r.program, r.crashIndex));
+}
+
+TEST(Shrink, DeterministicAcrossRuns)
+{
+    ShrinkResult a = shrinkLitmus(bigProgram(), 40, containsPoison);
+    ShrinkResult b = shrinkLitmus(bigProgram(), 40, containsPoison);
+    EXPECT_EQ(serializeLitmus(a.program), serializeLitmus(b.program));
+    EXPECT_EQ(a.crashIndex, b.crashIndex);
+    EXPECT_EQ(a.oracleCalls, b.oracleCalls);
+}
+
+TEST(Shrink, CrashIndexMinimizedOnlyWhileFailing)
+{
+    // Fails only when the crash lands at or after index 17: the
+    // shrinker must stop exactly there, not at zero.
+    auto oracle = [](const LitmusProgram &p, std::uint64_t crash) {
+        return containsPoison(p, crash) && crash >= 17;
+    };
+    ShrinkResult r = shrinkLitmus(bigProgram(), 40, oracle);
+    EXPECT_EQ(r.crashIndex, 17u);
+    EXPECT_EQ(r.program.opCount(), 1u);
+}
+
+TEST(Shrink, BudgetBoundsOracleCalls)
+{
+    ShrinkOptions opts;
+    opts.maxOracleCalls = 5;
+    ShrinkResult r =
+        shrinkLitmus(bigProgram(), 40, containsPoison, opts);
+    // Budget exhaustion degrades to a bigger reproducer, never to a
+    // passing one.
+    EXPECT_LE(r.oracleCalls, 5u);
+    EXPECT_TRUE(containsPoison(r.program, r.crashIndex));
+    EXPECT_GE(r.program.opCount(), 1u);
+}
+
+TEST(Shrink, RejectsNonFailingInput)
+{
+    auto never = [](const LitmusProgram &, std::uint64_t) {
+        return false;
+    };
+    EXPECT_THROW(shrinkLitmus(bigProgram(), 40, never), FatalError);
+}
+
+} // namespace
+} // namespace silo::fuzz

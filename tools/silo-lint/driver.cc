@@ -252,7 +252,10 @@ collectSources(const fs::path &root, const Options &opts,
         return;
     }
     std::vector<fs::path> dirs;
-    for (const char *d : {"src", "bench", "tests"})
+    // tools/litmus is a simulator front end like bench/ and is held
+    // to the same rules; silo-lint's own sources are not scanned (the
+    // analyzer reads files and environments by trade).
+    for (const char *d : {"src", "bench", "tests", "tools/litmus"})
         if (fs::is_directory(root / d))
             dirs.push_back(root / d);
     if (dirs.empty())

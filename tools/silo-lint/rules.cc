@@ -602,8 +602,9 @@ moduleOf(const std::string &path)
  * layers it may include. sim is the bottom; the memory system stacks
  * nvm < mc < mem; the scheme layers log < silo sit on the memory
  * system; core drives schemes with workloads; check observes
- * everything below it through sim-level interfaces; harness (and the
- * src/ root umbrella) is the top.
+ * everything below it through sim-level interfaces; harness sits on
+ * all of them, and fuzz (the litmus fuzzer, which drives whole sweeps)
+ * plus the src/ root umbrella are the top.
  */
 const std::map<std::string, std::set<std::string>> &
 allowedLayers()
@@ -624,8 +625,12 @@ allowedLayers()
         {"harness", {"check", "core", "energy", "harness", "log",
                      "mc", "mem", "nvm", "silo", "sim", "src",
                      "workload"}},
-        {"src", {"check", "core", "energy", "harness", "log", "mc",
-                 "mem", "nvm", "silo", "sim", "src", "workload"}},
+        {"fuzz", {"check", "core", "energy", "fuzz", "harness", "log",
+                  "mc", "mem", "nvm", "silo", "sim", "src",
+                  "workload"}},
+        {"src", {"check", "core", "energy", "fuzz", "harness", "log",
+                 "mc", "mem", "nvm", "silo", "sim", "src",
+                 "workload"}},
     };
     return table;
 }

@@ -1,5 +1,5 @@
 # ctest script: run bench/selfperf with a pruned matrix and validate
-# the silo-selfperf-v1 JSON it emits — schema, structure, positive
+# the silo-selfperf-v2 JSON it emits — schema, structure, positive
 # throughput numbers — plus a deliberately generous wall-clock ceiling
 # per section. The ceiling only catches order-of-magnitude regressions
 # (an accidental O(n^2) hot path); it is far above normal run-to-run
@@ -32,7 +32,7 @@ endif()
 # JSON or a queried member is missing.
 file(READ "${JSON_PATH}" json)
 string(JSON schema GET "${json}" schema)
-if(NOT schema STREQUAL "silo-selfperf-v1")
+if(NOT schema STREQUAL "silo-selfperf-v2")
     message(FATAL_ERROR "perf_smoke: unexpected schema \"${schema}\"")
 endif()
 
@@ -48,11 +48,30 @@ if(cells_per_s LESS_EQUAL 0)
         "perf_smoke: non-positive cells/s (${cells_per_s})")
 endif()
 
+# Per-cell wall-time distribution: ordered, positive, slowest labeled.
+string(JSON dist_min GET "${json}" matrix cell_wall_seconds min)
+string(JSON dist_p50 GET "${json}" matrix cell_wall_seconds p50)
+string(JSON dist_p90 GET "${json}" matrix cell_wall_seconds p90)
+string(JSON dist_max GET "${json}" matrix cell_wall_seconds max)
+string(JSON dist_sum GET "${json}" matrix cell_wall_seconds sum)
+if(dist_min LESS 0 OR dist_p50 LESS dist_min OR dist_p90 LESS dist_p50
+   OR dist_max LESS dist_p90 OR dist_sum LESS dist_max)
+    message(FATAL_ERROR "perf_smoke: cell_wall_seconds not ordered: "
+        "min=${dist_min} p50=${dist_p50} p90=${dist_p90} "
+        "max=${dist_max} sum=${dist_sum}")
+endif()
+string(JSON slowest GET "${json}" matrix slowest_cell)
+if(slowest STREQUAL "")
+    message(FATAL_ERROR "perf_smoke: slowest_cell is empty")
+endif()
+
 # Per-component microbenchmarks: ops recorded, positive rates.
 foreach(pair
         "event_queue;events_per_second"
         "word_store;words_per_second"
-        "cache_probe;probes_per_second")
+        "cache_probe;probes_per_second"
+        "recovery_path;recoveries_per_second"
+        "litmus_compile;compiles_per_second")
     list(GET pair 0 section)
     list(GET pair 1 rate_key)
     string(JSON ops GET "${json}" micro ${section} ops)
@@ -77,9 +96,17 @@ if(matrix_wall GREATER 60)
         "${matrix_wall} s (ceiling 60 s) — hot-path regression?")
 endif()
 
-string(JSON rss GET "${json}" peak_rss_kib)
-if(rss LESS 1)
-    message(FATAL_ERROR "perf_smoke: peak_rss_kib=${rss}")
+# peak_rss_kib is a positive integer on Linux and null elsewhere
+# (/proc/self/status absent) — both are schema-valid.
+string(JSON rss_type TYPE "${json}" peak_rss_kib)
+if(rss_type STREQUAL "NUMBER")
+    string(JSON rss GET "${json}" peak_rss_kib)
+    if(rss LESS 1)
+        message(FATAL_ERROR "perf_smoke: peak_rss_kib=${rss}")
+    endif()
+elseif(NOT rss_type STREQUAL "NULL")
+    message(FATAL_ERROR
+        "perf_smoke: peak_rss_kib has JSON type ${rss_type}")
 endif()
 
 message(STATUS "perf_smoke: ${cells} cells in ${matrix_wall} s "

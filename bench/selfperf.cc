@@ -2,29 +2,35 @@
  * @file
  * Simulator self-performance benchmark: wall-clock cost of the
  * simulator itself (not simulated time). Times a fixed Fig. 12 matrix
- * through the sweep engine plus three per-component microbenchmarks
- * covering the hot paths rebuilt in this PR — event schedule/pop
- * (calendar queue), word load/store (flat page-directory WordStore)
- * and cache probes (struct-of-arrays Cache) — and emits
- * BENCH_PR4.json ("silo-selfperf-v1": wall seconds, events/sec,
- * cells/sec, peak RSS) so perf trajectories are comparable across
- * commits.
+ * through the sweep engine plus five per-component microbenchmarks —
+ * event schedule/pop (calendar queue), word load/store (flat
+ * page-directory WordStore), cache probes (struct-of-arrays Cache),
+ * the crash/recovery path, and litmus program parse+compile — and
+ * emits BENCH_PR8.json ("silo-selfperf-v2": wall seconds, per-cell
+ * wall-time distribution, per-micro rates, peak RSS) so perf
+ * trajectories are comparable across commits; `tools/silo-report`
+ * renders any set of these files into a regression report.
  *
  * The matrix is pinned (tx=120, seed=42, 1/2/4/8 cores) rather than
  * reading the usual SILO_TX knob, so numbers from different checkouts
  * time the same work. SILO_SELFPERF_TX / SILO_SELFPERF_MAX_CORES
  * shrink it for the perf_smoke ctest; SILO_JOBS (default 1 here, for
- * stable timing) selects sweep workers.
+ * stable timing) selects sweep workers. Set SILO_PROF on top to get a
+ * silo-prof-v1 host-time profile of the matrix portion.
+ *
+ * Peak RSS comes from /proc/self/status (VmHWM); on systems without
+ * procfs the field is emitted as JSON null rather than failing the
+ * run, so the schema stays valid everywhere.
  */
 
-#include <sys/resource.h>
-
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
@@ -35,6 +41,7 @@
 #include "mem/cache.hh"
 #include "sim/event_queue.hh"
 #include "sim/word_store.hh"
+#include "workload/litmus.hh"
 #include "workload/trace_gen.hh"
 
 namespace
@@ -48,14 +55,29 @@ nowSeconds()
     return harness::wallSeconds();
 }
 
-/** Peak resident set size in KiB (ru_maxrss is KiB on Linux). */
-std::uint64_t
+/**
+ * Peak resident set size in KiB from /proc/self/status (VmHWM).
+ * Returns nullopt where procfs does not exist (non-Linux hosts) —
+ * the caller emits JSON null instead of failing the run.
+ */
+std::optional<std::uint64_t>
 peakRssKib()
 {
-    struct rusage ru;
-    if (getrusage(RUSAGE_SELF, &ru) != 0)
-        return 0;
-    return std::uint64_t(ru.ru_maxrss);
+    std::ifstream status("/proc/self/status");
+    if (!status)
+        return std::nullopt;
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        std::uint64_t kib = 0;
+        if (std::sscanf(line.c_str(), "VmHWM: %llu kB",
+                        reinterpret_cast<unsigned long long *>(
+                            &kib)) == 1)
+            return kib;
+        return std::nullopt;
+    }
+    return std::nullopt;
 }
 
 struct MicroResult
@@ -176,6 +198,123 @@ benchCacheProbe(std::uint64_t target_ops)
     return {target_ops, wall};
 }
 
+/**
+ * Crash/recovery-path cost: run a 2-core Silo cell partway, crash it,
+ * and recover against the PM media image. Only the crash+recover
+ * portion is timed; System construction and the event run reset the
+ * micro-state between iterations but are excluded from the rate, so
+ * the number tracks the recovery walk (selective log flush, WPQ
+ * crash-drain, log replay), not trace replay speed.
+ */
+MicroResult
+benchRecovery(std::uint64_t iterations)
+{
+    workload::TraceGenConfig tg;
+    tg.kind = workload::WorkloadKind::Hash;
+    tg.numThreads = 2;
+    tg.transactionsPerThread = 40;
+    tg.seed = 42;
+    workload::WorkloadTraces traces = workload::generateTraces(tg);
+
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.scheme = SchemeKind::Silo;
+
+    double wall = 0;
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        harness::System sys(cfg, traces);
+        sys.runEvents(20000);
+        double t0 = nowSeconds();
+        sys.crash();
+        sys.recover();
+        wall += nowSeconds() - t0;
+    }
+    return {iterations, wall};
+}
+
+/**
+ * Litmus front-end cost: parse + compile a fixed 3-thread program
+ * (the fuzzer's inner loop does exactly this once per generated
+ * program, thousands of times per campaign).
+ */
+MicroResult
+benchLitmusCompile(std::uint64_t iterations)
+{
+    static const char *programText =
+        "litmus v1\n"
+        "name selfperf-compile\n"
+        "thread 0\n"
+        "tx\n"
+        "store 0x40 1\n"
+        "store 0x80 2\n"
+        "load 0x40\n"
+        "end\n"
+        "tx\n"
+        "store 0xc0 3\n"
+        "end\n"
+        "thread 1\n"
+        "tx\n"
+        "store 0x100 4\n"
+        "store 0x140 5\n"
+        "end\n"
+        "tx abort\n"
+        "store 0x180 6\n"
+        "end\n"
+        "thread 2\n"
+        "tx\n"
+        "load 0x1c0\n"
+        "store 0x1c0 7\n"
+        "store 0x200 8\n"
+        "end\n";
+
+    volatile std::uint64_t sink = 0;
+    double t0 = nowSeconds();
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        workload::LitmusFile file = workload::parseLitmus(programText);
+        workload::WorkloadTraces traces =
+            workload::litmusTraces(file.program);
+        sink = sink + traces.threads.size();
+    }
+    double wall = nowSeconds() - t0;
+    return {iterations, wall};
+}
+
+/** Order statistics of the per-cell wall times (nearest rank). */
+struct CellWallDist
+{
+    double min = 0, p50 = 0, p90 = 0, max = 0, mean = 0, sum = 0;
+    std::string slowestLabel;
+};
+
+CellWallDist
+cellWallDist(const harness::Sweep &sweep)
+{
+    CellWallDist d;
+    const auto &results = sweep.results();
+    if (results.empty())
+        return d;
+    std::vector<double> walls;
+    std::size_t slowest = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        walls.push_back(results[i].wallSeconds);
+        d.sum += results[i].wallSeconds;
+        if (results[i].wallSeconds > results[slowest].wallSeconds)
+            slowest = i;
+    }
+    std::sort(walls.begin(), walls.end());
+    auto rank = [&walls](std::size_t pct) {
+        return walls[std::min(walls.size() - 1,
+                              walls.size() * pct / 100)];
+    };
+    d.min = walls.front();
+    d.p50 = rank(50);
+    d.p90 = rank(90);
+    d.max = walls.back();
+    d.mean = d.sum / double(walls.size());
+    d.slowestLabel = sweep.specs()[slowest].label;
+    return d;
+}
+
 void
 appendMicroJson(std::string &json, const char *name,
                 const char *rate_key, const MicroResult &r,
@@ -189,6 +328,18 @@ appendMicroJson(std::string &json, const char *name,
                   r.wallSeconds, rate_key, r.opsPerSecond(),
                   last ? "" : ",");
     json += buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
 }
 
 } // namespace
@@ -235,51 +386,83 @@ main()
     double matrix_wall = nowSeconds() - matrix_t0;
     double cells_per_second =
         matrix_wall > 0 ? double(sweep.size()) / matrix_wall : 0;
+    CellWallDist dist = cellWallDist(sweep);
 
     // --- Per-component microbenchmarks ---
     MicroResult eq = benchEventQueue(4'000'000);
     MicroResult ws = benchWordStore(20'000'000);
     MicroResult cp = benchCacheProbe(20'000'000);
-    std::uint64_t rss_kib = peakRssKib();
+    MicroResult rec = benchRecovery(300);
+    MicroResult lit = benchLitmusCompile(20'000);
+    std::optional<std::uint64_t> rss_kib = peakRssKib();
 
     // --- Report ---
     std::cout << "selfperf: matrix " << sweep.size() << " cells in "
               << matrix_wall << " s (" << cells_per_second
               << " cells/s, jobs=" << jobs << ", tx=" << tx << ")\n"
+              << "selfperf: cell wall    p50 " << dist.p50
+              << " s, p90 " << dist.p90 << " s, max " << dist.max
+              << " s (" << dist.slowestLabel << ")\n"
               << "selfperf: event queue  "
               << std::uint64_t(eq.opsPerSecond()) << " events/s\n"
               << "selfperf: word store   "
               << std::uint64_t(ws.opsPerSecond()) << " words/s\n"
               << "selfperf: cache probe  "
               << std::uint64_t(cp.opsPerSecond()) << " probes/s\n"
-              << "selfperf: peak RSS     " << rss_kib << " KiB\n";
+              << "selfperf: recovery     "
+              << std::uint64_t(rec.opsPerSecond())
+              << " recoveries/s\n"
+              << "selfperf: litmus       "
+              << std::uint64_t(lit.opsPerSecond()) << " compiles/s\n";
+    if (rss_kib)
+        std::cout << "selfperf: peak RSS     " << *rss_kib
+                  << " KiB\n";
+    else
+        std::cout << "selfperf: peak RSS     unavailable "
+                  << "(no /proc/self/status)\n";
 
     std::string path =
-        harness::envStrOr("SILO_JSON", "BENCH_PR4.json");
+        harness::envStrOr("SILO_JSON", "BENCH_PR8.json");
 
     std::string json;
     json += "{\n";
-    json += "  \"schema\": \"silo-selfperf-v1\",\n";
+    json += "  \"schema\": \"silo-selfperf-v2\",\n";
     json += "  \"benchmark\": \"selfperf\",\n";
-    char buf[512];
+    char buf[640];
     std::snprintf(buf, sizeof buf,
                   "  \"matrix\": {\"cells\": %zu, "
                   "\"tx_per_thread\": %llu, \"seed\": 42, "
                   "\"max_cores\": %u, \"jobs\": %u, "
                   "\"wall_seconds\": %.3f, "
-                  "\"cells_per_second\": %.3f},\n",
+                  "\"cells_per_second\": %.3f,\n",
                   sweep.size(), static_cast<unsigned long long>(tx),
                   max_cores, jobs, matrix_wall, cells_per_second);
     json += buf;
+    std::snprintf(buf, sizeof buf,
+                  "    \"cell_wall_seconds\": {\"min\": %.6f, "
+                  "\"p50\": %.6f, \"p90\": %.6f, \"max\": %.6f, "
+                  "\"mean\": %.6f, \"sum\": %.3f},\n",
+                  dist.min, dist.p50, dist.p90, dist.max, dist.mean,
+                  dist.sum);
+    json += buf;
+    json += "    \"slowest_cell\": \"" +
+            jsonEscape(dist.slowestLabel) + "\"},\n";
     json += "  \"micro\": {\n";
     appendMicroJson(json, "event_queue", "events_per_second", eq);
     appendMicroJson(json, "word_store", "words_per_second", ws);
-    appendMicroJson(json, "cache_probe", "probes_per_second", cp,
-                    true);
+    appendMicroJson(json, "cache_probe", "probes_per_second", cp);
+    appendMicroJson(json, "recovery_path", "recoveries_per_second",
+                    rec);
+    appendMicroJson(json, "litmus_compile", "compiles_per_second",
+                    lit, true);
     json += "  },\n";
-    std::snprintf(buf, sizeof buf, "  \"peak_rss_kib\": %llu\n",
-                  static_cast<unsigned long long>(rss_kib));
-    json += buf;
+    if (rss_kib) {
+        std::snprintf(buf, sizeof buf, "  \"peak_rss_kib\": %llu\n",
+                      static_cast<unsigned long long>(*rss_kib));
+        json += buf;
+    } else {
+        json += "  \"peak_rss_kib\": null\n";
+    }
     json += "}\n";
 
     std::filesystem::path out(path);

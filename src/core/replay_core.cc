@@ -27,14 +27,15 @@ ReplayCore::ReplayCore(unsigned id, EventQueue &eq, const SimConfig &cfg,
 void
 ReplayCore::start()
 {
-    _eq.scheduleAfter(0, [this] { step(); }, EventQueue::prioCore);
+    _eq.scheduleAfter(0, [this] { step(); }, EventQueue::prioCore,
+                      prof::Tag::Core);
 }
 
 void
 ReplayCore::advanceAfter(Cycles delay)
 {
     _eq.scheduleAfter(delay + _cfg.opOverheadCycles, [this] { step(); },
-                      EventQueue::prioCore);
+                      EventQueue::prioCore, prof::Tag::Core);
 }
 
 void

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "sim/profiler.hh"
 #include "sim/sha256.hh"
 
 namespace silo::harness
@@ -90,7 +91,13 @@ runCell(const SimConfig &cfg, const workload::WorkloadTraces &traces)
     sys.drainToMedia();
     sys.writeTrace();
     SimReport report = sys.report();
-    report.statsJson = sys.statsJson();
+    {
+        // Separately attributed from the enclosing simulate phase:
+        // registry serialization is pure host-side bookkeeping.
+        prof::TimedScope scope(prof::currentThreadProfile(),
+                               prof::Tag::StatsExport);
+        report.statsJson = sys.statsJson();
+    }
     return report;
 }
 

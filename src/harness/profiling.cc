@@ -1,0 +1,59 @@
+#include "harness/profiling.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/walltime.hh"
+
+namespace silo::harness
+{
+
+namespace
+{
+
+/** Exit-hook state; set exactly once when SILO_PROF enables profiling. */
+struct ProfSession
+{
+    prof::Profiler *profiler = nullptr;
+    std::string path;
+    double startSeconds = 0;
+};
+
+ProfSession &
+session()
+{
+    static ProfSession s;
+    return s;
+}
+
+void
+writeProfileAtExit()
+{
+    // Worker threads are long joined by exit time, so the merge sees
+    // quiescent slabs; wall time covers enable -> process exit.
+    ProfSession &s = session();
+    s.profiler->writeJson(s.path, wallSeconds() - s.startSeconds);
+}
+
+} // namespace
+
+prof::Profiler *
+profilerFromEnv()
+{
+    static prof::Profiler *installed = []() -> prof::Profiler * {
+        std::string path = envStrOr("SILO_PROF", "");
+        if (path.empty())
+            return nullptr;
+        // Leaked deliberately: thread_local slab caches and the exit
+        // hook both outlive any scoped owner we could name here.
+        auto *profiler = new prof::Profiler;
+        session() = ProfSession{profiler, path, wallSeconds()};
+        prof::Profiler::install(profiler);
+        std::atexit(writeProfileAtExit);
+        return profiler;
+    }();
+    return installed;
+}
+
+} // namespace silo::harness

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SILO_PROF glue: the one place the environment turns host-time
+ * profiling on.
+ *
+ * The profiler itself (sim/profiler.hh) is env-free — the sim layer
+ * may not read ambient state. This harness shim reads `SILO_PROF=
+ * <path>` once, installs a process Profiler when it is set, and
+ * registers an exit hook that merges every worker slab and writes the
+ * silo-prof-v1 JSON profile to <path>. With the variable unset
+ * nothing is installed and every instrumentation site stays a
+ * null-pointer branch.
+ *
+ * The sweep engine calls profilerFromEnv() before fanning out, so
+ * every bench binary is profile-capable without per-main wiring;
+ * tests bypass the environment entirely by installing their own
+ * Profiler via prof::Profiler::install().
+ */
+
+#ifndef SILO_HARNESS_PROFILING_HH
+#define SILO_HARNESS_PROFILING_HH
+
+#include "sim/profiler.hh"
+
+namespace silo::harness
+{
+
+/**
+ * The SILO_PROF-configured process profiler, installed (once) on the
+ * first call; nullptr when the variable is unset. Call on the main
+ * thread before spawning workers that should profile.
+ */
+prof::Profiler *profilerFromEnv();
+
+} // namespace silo::harness
+
+#endif // SILO_HARNESS_PROFILING_HH

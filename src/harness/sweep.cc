@@ -14,6 +14,7 @@
 #include <sstream>
 #include <thread>
 
+#include "harness/profiling.hh"
 #include "harness/walltime.hh"
 #include "sim/logging.hh"
 
@@ -143,6 +144,10 @@ const std::vector<CellResult> &
 Sweep::run()
 {
     unsigned jobs = this->jobs();
+    // SILO_PROF installs the process profiler (once) before any
+    // worker thread exists; unset, this is a no-op and every
+    // instrumentation site below stays a null-pointer branch.
+    profilerFromEnv();
 
     // Phase 1: generate every unique trace before any cell runs, so
     // the cache is read-only during fan-out. Generation is itself
@@ -161,6 +166,8 @@ Sweep::run()
                          "on %u job(s)\n", missing.size(), jobs);
         std::vector<workload::WorkloadTraces> generated(missing.size());
         parallelFor(missing.size(), jobs, [&](std::size_t j) {
+            prof::TimedScope scope(prof::currentThreadProfile(),
+                                   prof::Tag::TraceCompile);
             generated[j] = workload::generateTraces(*missing[j]);
         });
         for (std::size_t j = 0; j < missing.size(); ++j)
@@ -171,6 +178,10 @@ Sweep::run()
     // pre-sized result slot, so completion order never shows.
     _results.assign(_specs.size(), CellResult{});
     _done = 0;
+    _runJobs = std::max(1u,
+                        unsigned(std::min<std::size_t>(jobs,
+                                                       _specs.size())));
+    _workerBusyNanos.assign(_runJobs, 0);
     _startSeconds = nowSeconds();
     parallelFor(_specs.size(), jobs,
                 [this](std::size_t i) { runOne(i); });
@@ -203,8 +214,17 @@ Sweep::runOne(std::size_t index)
     double t0 = nowSeconds();
     CellResult out;
     out.traces = &traces;
-    out.report = spec.runner ? spec.runner(sim, traces)
-                             : runCell(sim, traces);
+    out.workerId = logWorkerId();
+    out.queueWaitSeconds = t0 - _startSeconds;
+    {
+        // One simulate scope per cell — custom runners (crash
+        // injection benches) are covered here too, since they have no
+        // other choke point.
+        prof::TimedScope scope(prof::currentThreadProfile(),
+                               prof::Tag::Simulate);
+        out.report = spec.runner ? spec.runner(sim, traces)
+                                 : runCell(sim, traces);
+    }
     out.wallSeconds = nowSeconds() - t0;
     _results[index] = std::move(out);
     noteCellDone(index, _results[index].wallSeconds);
@@ -213,23 +233,37 @@ Sweep::runOne(std::size_t index)
 void
 Sweep::noteCellDone(std::size_t index, double wall_seconds)
 {
-    if (!_opts.progress)
-        return;
     static std::mutex progress_m;
     std::lock_guard<std::mutex> lk(progress_m);
     ++_done;
+    std::size_t slot =
+        std::size_t(std::max(0, logWorkerId())) % _runJobs;
+    _workerBusyNanos[slot] += std::uint64_t(wall_seconds * 1e9);
+    if (!_opts.progress)
+        return;
     double elapsed = nowSeconds() - _startSeconds;
     double eta = _done ? elapsed / double(_done) *
                              double(_specs.size() - _done)
                        : 0;
+    double rate = elapsed > 0 ? double(_done) / elapsed : 0;
+    std::uint64_t busy_nanos = 0;
+    for (std::uint64_t nanos : _workerBusyNanos)
+        busy_nanos += nanos;
+    // Busy fraction: cell compute time over worker-seconds elapsed —
+    // the gap is queueing imbalance plus engine overhead.
+    double busy = elapsed > 0
+                      ? double(busy_nanos) * 1e-9 /
+                            (elapsed * double(_runJobs))
+                      : 0;
     const char *terminator = isatty(STDERR_FILENO) ? "\r" : "\n";
     std::fprintf(stderr,
-                 "sweep: [%3zu/%zu] %-40s %6.2fs  eta %5.0fs%s",
+                 "sweep: [%3zu/%zu] %-40s %6.2fs  %5.1f cells/s  "
+                 "busy %3.0f%%  eta %5.0fs%s",
                  _done, _specs.size(),
                  _specs[index].label.empty()
                      ? "(unnamed cell)"
                      : _specs[index].label.c_str(),
-                 wall_seconds, eta, terminator);
+                 wall_seconds, rate, busy * 100, eta, terminator);
     std::fflush(stderr);
 }
 
@@ -237,6 +271,8 @@ void
 Sweep::writeJson(const std::string &path,
                  const std::string &benchmark) const
 {
+    prof::TimedScope phase(prof::currentThreadProfile(),
+                           prof::Tag::JsonEmit);
     std::filesystem::path p(path);
     if (p.has_parent_path())
         std::filesystem::create_directories(p.parent_path());
@@ -247,6 +283,10 @@ Sweep::writeJson(const std::string &path,
     // SILO_STATS_JSON=0 drops the per-cell "stats" blocks, restoring
     // the pre-observability file byte-for-byte.
     bool embed_stats = envOr("SILO_STATS_JSON", 1) != 0;
+    // Host timing is nondeterministic, so the per-cell "perf" block
+    // only exists when the run opted into profiling: goldens and the
+    // cross-job byte-identity guarantee see SILO_PROF unset.
+    bool embed_perf = !envStrOr("SILO_PROF", "").empty();
 
     os << "{\n";
     os << "  \"schema\": \"silo-sweep-v1\",\n";
@@ -301,7 +341,16 @@ Sweep::writeJson(const std::string &path,
         } else {
             os << "\n";
         }
-        os << "      }\n";
+        os << "      }";
+        if (embed_perf) {
+            os << ",\n      \"perf\": {\"wall_seconds\": "
+               << jsonNum(_results[i].wallSeconds)
+               << ", \"queue_wait_seconds\": "
+               << jsonNum(_results[i].queueWaitSeconds)
+               << ", \"worker\": " << _results[i].workerId << "}\n";
+        } else {
+            os << "\n";
+        }
         os << "    }";
     }
     os << "\n  ]\n}\n";

@@ -18,16 +18,19 @@
  *
  * `SILO_JOBS` selects the worker count (default: hardware
  * concurrency); `SILO_JOBS=1` recovers the historical serial path on
- * the calling thread. Wall-clock timing is captured per cell for the
- * stderr progress/ETA line but deliberately never serialized, so the
- * printed tables and the `writeJson()` output are byte-identical
- * across job counts.
+ * the calling thread. Wall-clock timing is captured per cell (wall,
+ * queue wait, worker id) for the stderr progress/ETA line but
+ * deliberately not serialized by default, so the printed tables and
+ * the `writeJson()` output are byte-identical across job counts;
+ * setting `SILO_PROF` opts a run into per-cell "perf" blocks and a
+ * whole-process silo-prof-v1 host-time profile (harness/profiling.hh).
  */
 
 #ifndef SILO_HARNESS_SWEEP_HH
 #define SILO_HARNESS_SWEEP_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -64,10 +67,19 @@ struct CellResult
     SimReport report;
     /**
      * Wall-clock seconds this cell took. Feeds the progress/ETA line
-     * only — never serialized, so sweep outputs stay byte-identical
-     * across job counts.
+     * and, only when SILO_PROF is set, the per-cell "perf" block in
+     * writeJson() — by default it is never serialized, so sweep
+     * outputs stay byte-identical across job counts.
      */
     double wallSeconds = 0;
+    /**
+     * Seconds between the sweep fan-out starting and this cell being
+     * picked up by a worker — queueing delay, not compute. Same
+     * serialization rule as wallSeconds.
+     */
+    double queueWaitSeconds = 0;
+    /** Worker that ran the cell (-1 on the serial path). */
+    int workerId = -1;
     /**
      * The cached trace object the cell consumed. Cells sharing a
      * TraceGenConfig see the same object (pointer-equal); tests check
@@ -127,8 +139,12 @@ class Sweep
      * Write specs + results as JSON ("silo-sweep-v1" schema: label,
      * scheme, workload, trace knobs and every SimReport field per
      * cell). Only deterministic fields are emitted — no timing — so
-     * serial and parallel runs produce byte-identical files. Parent
-     * directories are created as needed.
+     * serial and parallel runs produce byte-identical files. The one
+     * exception is opt-in: when SILO_PROF is set, each cell gains a
+     * "perf" block (wall seconds, queue wait, worker id) for host-
+     * performance analysis; with it unset the file is byte-identical
+     * to the committed goldens. Parent directories are created as
+     * needed.
      */
     void writeJson(const std::string &path,
                    const std::string &benchmark) const;
@@ -154,6 +170,14 @@ class Sweep
     /// @{
     std::size_t _done = 0;
     double _startSeconds = 0;
+    /** Workers the running fan-out was launched with. */
+    unsigned _runJobs = 1;
+    /**
+     * Per-worker busy time in integer nanoseconds (uint64 so no
+     * float accumulation order can creep into anything; the progress
+     * line is the only consumer). Guarded by the progress mutex.
+     */
+    std::vector<std::uint64_t> _workerBusyNanos;
     /// @}
 };
 

@@ -13,6 +13,11 @@ System::System(const SimConfig &cfg,
     if (_traces.threads.size() < _cfg.numCores)
         fatal("trace has fewer threads than configured cores");
 
+    // Host-time profiling: attach the constructing thread's slab (the
+    // sweep worker that will run this System) when a profiler is
+    // installed; null otherwise, costing one branch per dispatch.
+    _eq.setProfiler(prof::currentThreadProfile());
+
     if (!_cfg.tracePath.empty()) {
         // Attach before any component exists so their constructors can
         // register trace tracks via _eq.tracer().

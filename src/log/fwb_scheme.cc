@@ -19,7 +19,7 @@ FwbScheme::scheduleWalk()
     _ctx.eq.scheduleAfter(_ctx.cfg.fwbIntervalCycles, [this] {
         walk();
         scheduleWalk();
-    });
+    }, EventQueue::prioDefault, prof::Tag::LogScheme);
 }
 
 void
@@ -41,7 +41,9 @@ FwbScheme::walk()
         unsigned owner = addr_map::inDataRegion(line)
                              ? addr_map::dataArenaOwner(line) : 0;
         _ctx.hierarchy.flushLine(owner, line, false, [this, step] {
-            _ctx.eq.scheduleAfter(4, [step] { (*step)(); });
+            _ctx.eq.scheduleAfter(4, [step] { (*step)(); },
+                                  EventQueue::prioDefault,
+                                  prof::Tag::LogScheme);
         });
     };
     (*step)();

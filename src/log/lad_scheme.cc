@@ -178,7 +178,7 @@ LadScheme::commitPhase1(unsigned core, std::vector<Addr> lines,
         _ctx.eq.scheduleAfter(pipe, [this, core,
                                      done = std::move(done)]() mutable {
             commitPhase2(core, std::move(done));
-        });
+        }, EventQueue::prioDefault, prof::Tag::LogScheme);
         return;
     }
     Addr line = lines[next];
@@ -200,7 +200,7 @@ LadScheme::commitPhase1(unsigned core, std::vector<Addr> lines,
                                next, done = std::move(done)]() mutable {
             commitPhase1(core, std::move(lines), next + 1,
                          std::move(done));
-        });
+        }, EventQueue::prioDefault, prof::Tag::LogScheme);
     });
 }
 

@@ -183,7 +183,7 @@ MemController::scheduleDrain(Cycles delay)
     _eq.scheduleAfter(delay, [this] {
         _drainScheduled = false;
         drainOne();
-    }, EventQueue::prioDevice);
+    }, EventQueue::prioDevice, prof::Tag::Mc);
 }
 
 void
@@ -230,13 +230,14 @@ MemController::read(Addr line_addr, std::function<void()> done)
         if (e.key == key && !e.logRegion) {
             ++_forwards;
             _eq.scheduleAfter(mcForwardCycles, std::move(done),
-                              EventQueue::prioDevice);
+                              EventQueue::prioDevice, prof::Tag::Mc);
             return;
         }
     }
     ++_reads;
     Tick completion = _pm.read(line_addr) + mcForwardCycles;
-    _eq.schedule(completion, std::move(done), EventQueue::prioDevice);
+    _eq.schedule(completion, std::move(done), EventQueue::prioDevice,
+                 prof::Tag::Mc);
 }
 
 void

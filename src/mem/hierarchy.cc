@@ -73,11 +73,12 @@ CacheHierarchy::fill(unsigned core, Addr line_addr, bool dirty,
         writebackWithRetry(v3->lineAddr, /*evicted=*/true, held,
                            [this, delay, done = std::move(done)] {
             _eq.scheduleAfter(delay, std::move(done),
-                              EventQueue::prioCore);
+                              EventQueue::prioCore, prof::Tag::Core);
         });
         return;
     }
-    _eq.scheduleAfter(delay, std::move(done), EventQueue::prioCore);
+    _eq.scheduleAfter(delay, std::move(done), EventQueue::prioCore,
+                      prof::Tag::Core);
 }
 
 void
@@ -88,7 +89,7 @@ CacheHierarchy::access(unsigned core, Addr addr, bool write,
 
     if (_l1[core]->access(line, write)) {
         _eq.scheduleAfter(_cfg.l1d.latency, std::move(done),
-                          EventQueue::prioCore);
+                          EventQueue::prioCore, prof::Tag::Core);
         return;
     }
 

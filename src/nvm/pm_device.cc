@@ -111,7 +111,7 @@ PmDevice::startEviction(unsigned idx)
         // slot frees immediately.
         line = BufferLine{};
         _eq.scheduleAfter(0, [this] { notifyOneWaiter(); },
-                          EventQueue::prioDevice);
+                          EventQueue::prioDevice, prof::Tag::Nvm);
         return;
     }
 
@@ -130,7 +130,7 @@ PmDevice::startEviction(unsigned idx)
     _eq.schedule(done, [this, idx] {
         _lines[idx] = BufferLine{};
         notifyOneWaiter();
-    }, EventQueue::prioDevice);
+    }, EventQueue::prioDevice, prof::Tag::Nvm);
 }
 
 bool

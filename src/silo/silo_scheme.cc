@@ -266,7 +266,8 @@ SiloScheme::stageInPlace(unsigned core, std::uint16_t txid, Addr addr,
     }
     staged.push_back(PendingUpdate{txid, addr, value, _ctx.eq.now()});
     _ctx.eq.scheduleAfter(delay,
-                          [this, core, addr] { issueInPlace(core, addr); });
+                          [this, core, addr] { issueInPlace(core, addr); },
+                          EventQueue::prioDefault, prof::Tag::LogScheme);
 }
 
 void
@@ -344,7 +345,7 @@ SiloScheme::txEnd(unsigned core, std::function<void()> done)
         _ctx.logs.truncate(core);
         drainCommitted(core);
         done();
-    });
+    }, EventQueue::prioDefault, prof::Tag::LogScheme);
 }
 
 void

@@ -41,6 +41,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/profiler.hh"
 #include "sim/types.hh"
 
 namespace silo
@@ -72,10 +73,17 @@ class EventQueue
 
     /**
      * Schedule @p cb at absolute time @p when.
+     *
+     * @p domain is the static profiling tag the dispatch is timed
+     * under when a profiler is attached (see sim/profiler.hh); it has
+     * no effect on simulation semantics or ordering. Component
+     * schedule sites pass their own domain; the default keeps
+     * untagged callers visible as "other" in profiles.
      * @pre when >= now()
      */
     void
-    schedule(Tick when, Callback cb, int priority = prioDefault)
+    schedule(Tick when, Callback cb, int priority = prioDefault,
+             prof::Tag domain = prof::Tag::Other)
     {
         if (when < _now)
             when = _now;
@@ -91,21 +99,22 @@ class EventQueue
         }
         ++_size;
         if (when < _cursor + wheelSize) {
-            placeInWheel(Scheduled{when, priority, _nextSeq++,
+            placeInWheel(Scheduled{when, priority, _nextSeq++, domain,
                                    std::move(cb)});
         } else {
             _overflowMin = std::min(_overflowMin, when);
             _overflow.push_back(Scheduled{when, priority, _nextSeq++,
-                                          std::move(cb)});
+                                          domain, std::move(cb)});
             _overflowSorted = false;
         }
     }
 
     /** Schedule @p cb @p delta ticks from now. */
     void
-    scheduleAfter(Cycles delta, Callback cb, int priority = prioDefault)
+    scheduleAfter(Cycles delta, Callback cb, int priority = prioDefault,
+                  prof::Tag domain = prof::Tag::Other)
     {
-        schedule(_now + delta, std::move(cb), priority);
+        schedule(_now + delta, std::move(cb), priority, domain);
     }
 
     /** @return true if no events remain. */
@@ -167,7 +176,13 @@ class EventQueue
             _advanceHook(ev.when);
         _now = ev.when;
         ++_executed;
-        ev.callback();
+        {
+            // The profiling choke point: every dispatch is timed
+            // under its domain tag. Unprofiled runs pay one branch on
+            // the null pointer inside TimedScope.
+            prof::TimedScope dispatch(_prof, ev.domain);
+            ev.callback();
+        }
         return true;
     }
 
@@ -209,6 +224,17 @@ class EventQueue
     /** @return the attached tracer, or nullptr when tracing is off. */
     trace::Tracer *tracer() const { return _tracer; }
 
+    /**
+     * Attach the owning thread's profiling slab (null detaches).
+     * Mirrors setTracer(): the queue carries the pointer so the one
+     * dispatch site can attribute host time without any plumbing
+     * through components; unprofiled runs keep it null.
+     */
+    void setProfiler(prof::ThreadProfile *profile) { _prof = profile; }
+
+    /** @return the attached profiling slab, or nullptr. */
+    prof::ThreadProfile *profiler() const { return _prof; }
+
     /** Drop all pending events and reset time (used between experiments). */
     void
     reset()
@@ -236,6 +262,8 @@ class EventQueue
         Tick when;
         int priority;
         std::uint64_t seq;
+        /** Profiling domain the dispatch is attributed to. */
+        prof::Tag domain;
         Callback callback;
     };
 
@@ -429,6 +457,7 @@ class EventQueue
     std::uint64_t _nextSeq = 0;
     bool _stopRequested = false;
     trace::Tracer *_tracer = nullptr;
+    prof::ThreadProfile *_prof = nullptr;
     std::function<void(Tick)> _advanceHook;
 };
 

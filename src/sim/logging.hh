@@ -99,6 +99,17 @@ setLogWorkerId(int id)
 }
 
 /**
+ * This thread's sweep worker id, or -1 outside a worker. The sweep
+ * engine reads it back for per-cell telemetry (which worker ran a
+ * cell) in addition to the log-line prefix.
+ */
+inline int
+logWorkerId()
+{
+    return detail::logWorkerIdRef();
+}
+
+/**
  * Alert the user to questionable but survivable behaviour.
  * Thread-safe: concurrent callers never interleave within a line.
  */

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * silo-report core tests: the JSON reader must faithfully parse the
+ * documents the repo emits, metric extraction must work across the
+ * selfperf v1 -> v2 format change, and the regression verdicts must
+ * flag a synthetic 1.5x slowdown under default thresholds while
+ * passing the committed BENCH_PR4 -> BENCH_PR8 trajectory under the
+ * generous CI thresholds. Fixtures live in
+ * tests/tools/fixtures/report/; the committed BENCH_*.json files are
+ * resolved through SILO_REPO_ROOT so the gate test exercises the real
+ * shipping documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "silo-report/report.hh"
+
+namespace silo::report
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << "cannot read " << path;
+    std::ostringstream text;
+    text << is.rdbuf();
+    return text.str();
+}
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, doc, error)) << error;
+    return doc;
+}
+
+InputDoc
+loadDoc(const std::string &path)
+{
+    InputDoc doc;
+    doc.path = path;
+    doc.doc = parseOk(slurp(path));
+    return doc;
+}
+
+const std::string fixtures =
+    std::string(SILO_TEST_DIR) + "/tools/fixtures/report/";
+const std::string repoRoot = std::string(SILO_REPO_ROOT) + "/";
+
+// --- JSON reader ---
+
+TEST(ReportJson, ScalarsAndNesting)
+{
+    JsonValue doc = parseOk(
+        R"({"a": 1.5, "b": "x\ny", "c": [1, 2, 3], "d": null,)"
+        R"( "e": true, "f": {"g": -2e3}})");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_DOUBLE_EQ(doc.numOr("a", 0), 1.5);
+    EXPECT_EQ(doc.strOr("b", ""), "x\ny");
+    ASSERT_EQ(doc.find("c")->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.find("c")->array[1].number, 2);
+    EXPECT_TRUE(doc.find("d")->isNull());
+    EXPECT_TRUE(doc.find("e")->boolean);
+    EXPECT_DOUBLE_EQ(doc.find("f")->numOr("g", 0), -2000);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(ReportJson, PreservesObjectOrder)
+{
+    JsonValue doc = parseOk(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_EQ(doc.object.size(), 3u);
+    EXPECT_EQ(doc.object[0].first, "z");
+    EXPECT_EQ(doc.object[1].first, "a");
+    EXPECT_EQ(doc.object[2].first, "m");
+}
+
+TEST(ReportJson, RejectsMalformedDocuments)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(parseJson("{\"a\": }", doc, error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    EXPECT_FALSE(parseJson("{} trailing", doc, error));
+    EXPECT_FALSE(parseJson("{\"a\": tru}", doc, error));
+    EXPECT_FALSE(parseJson("[1, 2", doc, error));
+    EXPECT_FALSE(parseJson("", doc, error));
+}
+
+TEST(ReportJson, ParsesCommittedBenchFiles)
+{
+    JsonValue v1 = parseOk(slurp(repoRoot + "BENCH_PR4.json"));
+    EXPECT_EQ(v1.strOr("schema", ""), "silo-selfperf-v1");
+    JsonValue v2 = parseOk(slurp(repoRoot + "BENCH_PR8.json"));
+    EXPECT_EQ(v2.strOr("schema", ""), "silo-selfperf-v2");
+    // v2 additions the report relies on.
+    const JsonValue *matrix = v2.find("matrix");
+    ASSERT_NE(matrix, nullptr);
+    EXPECT_NE(matrix->find("cell_wall_seconds"), nullptr);
+    EXPECT_NE(matrix->find("slowest_cell"), nullptr);
+}
+
+// --- Metric extraction ---
+
+TEST(ReportMetrics, ExtractsV1AndV2Rates)
+{
+    auto v1 = selfperfMetrics(
+        parseOk(slurp(repoRoot + "BENCH_PR4.json")));
+    ASSERT_EQ(v1.size(), 4u);
+    EXPECT_EQ(v1[0].first, "matrix cells/s");
+    EXPECT_EQ(v1[1].first, "event_queue");
+    EXPECT_EQ(v1[2].first, "word_store");
+    EXPECT_EQ(v1[3].first, "cache_probe");
+    for (const auto &[name, rate] : v1)
+        EXPECT_GT(rate, 0) << name;
+
+    auto v2 = selfperfMetrics(
+        parseOk(slurp(repoRoot + "BENCH_PR8.json")));
+    ASSERT_EQ(v2.size(), 6u);
+    EXPECT_EQ(v2[4].first, "recovery_path");
+    EXPECT_EQ(v2[5].first, "litmus_compile");
+}
+
+// --- Verdicts and the gate ---
+
+TEST(ReportVerdicts, FlagsSynthetic1p5xSlowdown)
+{
+    // selfperf-slow-1p5x.json is BENCH_PR4 with every rate divided by
+    // 1.5: ratio 0.667 < 0.70 must FAIL under default thresholds.
+    ReportResult result = buildReport(
+        {loadDoc(repoRoot + "BENCH_PR4.json"),
+         loadDoc(fixtures + "selfperf-slow-1p5x.json")},
+        ReportOptions{});
+    EXPECT_TRUE(result.errors.empty());
+    EXPECT_EQ(result.worst, Verdict::Fail);
+    ASSERT_EQ(result.verdicts.size(), 4u);
+    for (const MetricVerdict &mv : result.verdicts) {
+        EXPECT_NEAR(mv.ratio, 1.0 / 1.5, 0.01) << mv.metric;
+        EXPECT_EQ(mv.verdict, Verdict::Fail) << mv.metric;
+    }
+    EXPECT_NE(result.markdown.find("FAIL"), std::string::npos);
+}
+
+TEST(ReportVerdicts, PassesCommittedTrajectory)
+{
+    // The shipped BENCH_PR4 -> BENCH_PR8 pair under the generous CI
+    // thresholds (cross-machine noise tolerated, order-of-magnitude
+    // regressions still caught). This is the same comparison the
+    // report_gate ctest and the nightly perf job run.
+    ReportOptions opts;
+    opts.warn = 0.5;
+    opts.fail = 0.8;
+    ReportResult result =
+        buildReport({loadDoc(repoRoot + "BENCH_PR4.json"),
+                     loadDoc(repoRoot + "BENCH_PR8.json")},
+                    opts);
+    EXPECT_TRUE(result.errors.empty());
+    EXPECT_NE(result.worst, Verdict::Fail);
+    // Metrics new in v2 have no v1 baseline: trajectory-only, no
+    // verdict rows.
+    EXPECT_EQ(result.verdicts.size(), 4u);
+}
+
+TEST(ReportVerdicts, WarnBandSitsBetweenOkAndFail)
+{
+    ReportOptions opts; // warn 0.10, fail 0.30
+    auto mkdoc = [](double rate) {
+        InputDoc doc;
+        doc.path = std::to_string(rate);
+        doc.doc = parseOk(
+            "{\"schema\": \"silo-selfperf-v1\", \"matrix\": "
+            "{\"cells_per_second\": " +
+            std::to_string(rate) + "}}");
+        return doc;
+    };
+    auto worstOf = [&](double first, double last) {
+        return buildReport({mkdoc(first), mkdoc(last)}, opts).worst;
+    };
+    EXPECT_EQ(worstOf(100, 95), Verdict::Ok);    // 0.95
+    EXPECT_EQ(worstOf(100, 80), Verdict::Warn);  // 0.80
+    EXPECT_EQ(worstOf(100, 65), Verdict::Fail);  // 0.65
+    EXPECT_EQ(worstOf(100, 130), Verdict::Ok);   // speedups pass
+}
+
+// --- Profiles ---
+
+TEST(ReportProfiles, RendersHotDomainsAndDelta)
+{
+    ReportResult result = buildReport({loadDoc(fixtures + "prof-a.json"),
+                                       loadDoc(fixtures + "prof-b.json")},
+                                      ReportOptions{});
+    EXPECT_TRUE(result.errors.empty());
+    EXPECT_EQ(result.worst, Verdict::Ok); // profiles never gate
+    // Hot-domain tables for both profiles plus the A-vs-B delta.
+    EXPECT_NE(result.markdown.find("Host-time profile: prof-a.json"),
+              std::string::npos);
+    EXPECT_NE(result.markdown.find("Host-time profile: prof-b.json"),
+              std::string::npos);
+    EXPECT_NE(result.markdown.find("Profile comparison"),
+              std::string::npos);
+    // mc doubled between the fixtures: the delta column shows 2.00.
+    EXPECT_NE(result.markdown.find("| mc | 2.500 | 5.000 | 2.00 |"),
+              std::string::npos)
+        << result.markdown;
+}
+
+TEST(ReportProfiles, RejectsMoreThanTwoProfiles)
+{
+    InputDoc prof = loadDoc(fixtures + "prof-a.json");
+    ReportResult result =
+        buildReport({prof, prof, prof}, ReportOptions{});
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_NE(result.errors[0].find("at most two"), std::string::npos);
+}
+
+TEST(ReportProfiles, RejectsUnknownSchema)
+{
+    InputDoc doc;
+    doc.path = "bogus.json";
+    doc.doc = parseOk(R"({"schema": "not-a-perf-doc"})");
+    ReportResult result = buildReport({doc}, ReportOptions{});
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_NE(result.errors[0].find("unknown schema"),
+              std::string::npos);
+}
+
+// --- Thresholds ---
+
+TEST(ReportThresholds, ParsesWarnFailPairs)
+{
+    ReportOptions opts;
+    EXPECT_TRUE(parseThresholds("0.1,0.3", opts));
+    EXPECT_DOUBLE_EQ(opts.warn, 0.1);
+    EXPECT_DOUBLE_EQ(opts.fail, 0.3);
+    EXPECT_FALSE(parseThresholds("0.3,0.1", opts)); // fail < warn
+    EXPECT_FALSE(parseThresholds("0.1", opts));
+    EXPECT_FALSE(parseThresholds("a,b", opts));
+    EXPECT_FALSE(parseThresholds("0.1,1.5", opts)); // not a fraction
+}
+
+TEST(ReportThresholds, ReadsEnvironmentKnob)
+{
+    ReportOptions opts;
+    std::string error;
+    setenv("SILO_PROF_THRESHOLDS", "0.2,0.4", 1);   // NOLINT(concurrency-mt-unsafe)
+    EXPECT_TRUE(thresholdsFromEnv(opts, error)) << error;
+    EXPECT_DOUBLE_EQ(opts.warn, 0.2);
+    EXPECT_DOUBLE_EQ(opts.fail, 0.4);
+
+    setenv("SILO_PROF_THRESHOLDS", "nonsense", 1);   // NOLINT(concurrency-mt-unsafe)
+    EXPECT_FALSE(thresholdsFromEnv(opts, error));
+    EXPECT_NE(error.find("SILO_PROF_THRESHOLDS"), std::string::npos);
+
+    unsetenv("SILO_PROF_THRESHOLDS");   // NOLINT(concurrency-mt-unsafe)
+    ReportOptions defaults;
+    EXPECT_TRUE(thresholdsFromEnv(defaults, error));
+    EXPECT_DOUBLE_EQ(defaults.warn, 0.10);
+    EXPECT_DOUBLE_EQ(defaults.fail, 0.30);
+}
+
+} // namespace
+} // namespace silo::report

@@ -36,6 +36,14 @@ class SchemaError(Exception):
 
 
 def check_type(value, expected, path):
+    if isinstance(expected, list):
+        # Draft-07 union types, e.g. ["integer", "null"] for
+        # peak_rss_kib on hosts without /proc.
+        for option in expected:
+            if not check_type(value, option, path):
+                return []
+        return [f"{path}: expected one of {expected}, "
+                f"got {type(value).__name__}"]
     if expected == "integer":
         # bool is an int subclass in Python; JSON says it isn't.
         ok = isinstance(value, int) and not isinstance(value, bool)

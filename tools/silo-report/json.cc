@@ -1,0 +1,281 @@
+#include "silo-report/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace silo::report
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::strOr(const std::string &key,
+                 const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->string : fallback;
+}
+
+double
+JsonValue::numOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+namespace
+{
+
+/** Cursor over the input with line tracking for error messages. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::size_t line = 1;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool
+    fail(const std::string &message)
+    {
+        if (error.empty())
+            error = "line " + std::to_string(line) + ": " + message;
+        return false;
+    }
+
+    bool atEnd() const { return pos >= text.size(); }
+    char peek() const { return atEnd() ? '\0' : text[pos]; }
+
+    char
+    next()
+    {
+        char c = text[pos++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                            text[pos] == '\n' || text[pos] == '\r'))
+            next();
+    }
+
+    bool
+    expect(char c)
+    {
+        skipSpace();
+        if (atEnd() || peek() != c)
+            return fail(std::string("expected '") + c + "'");
+        next();
+        return true;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail(std::string("bad literal, expected ") + word);
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            char c = next();
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (atEnd())
+                    return fail("unterminated escape");
+                char esc = next();
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    // The repo's emitters never write \u escapes;
+                    // decode the BMP ones to keep the parser honest.
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = next();
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= unsigned(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    if (code < 0x80) {
+                        out += char(code);
+                    } else if (code < 0x800) {
+                        out += char(0xc0 | (code >> 6));
+                        out += char(0x80 | (code & 0x3f));
+                    } else {
+                        out += char(0xe0 | (code >> 12));
+                        out += char(0x80 | ((code >> 6) & 0x3f));
+                        out += char(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape character");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            next();
+        while (!atEnd() && (std::isdigit(unsigned(peek())) != 0 ||
+                            peek() == '.' || peek() == 'e' ||
+                            peek() == 'E' || peek() == '+' ||
+                            peek() == '-'))
+            next();
+        std::string token = text.substr(start, pos - start);
+        char *end = nullptr;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0')
+            return fail("bad number \"" + token + "\"");
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (atEnd())
+            return fail("unexpected end of document");
+        char c = peek();
+        if (c == '{') {
+            next();
+            out.kind = JsonValue::Kind::Object;
+            skipSpace();
+            if (peek() == '}') {
+                next();
+                return true;
+            }
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!expect(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                if (!out.find(key))
+                    out.object.emplace_back(std::move(key),
+                                            std::move(member));
+                skipSpace();
+                if (peek() == ',') {
+                    next();
+                    continue;
+                }
+                return expect('}');
+            }
+        }
+        if (c == '[') {
+            next();
+            out.kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (peek() == ']') {
+                next();
+                return true;
+            }
+            while (true) {
+                JsonValue element;
+                if (!parseValue(element))
+                    return false;
+                out.array.push_back(std::move(element));
+                skipSpace();
+                if (peek() == ',') {
+                    next();
+                    continue;
+                }
+                return expect(']');
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+        }
+        if (c == '-' || std::isdigit(unsigned(c)) != 0)
+            return parseNumber(out);
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    Parser p(text);
+    out = JsonValue{};
+    if (!p.parseValue(out)) {
+        error = p.error;
+        return false;
+    }
+    p.skipSpace();
+    if (!p.atEnd()) {
+        error = "line " + std::to_string(p.line) +
+                ": trailing content after document";
+        return false;
+    }
+    error.clear();
+    return true;
+}
+
+} // namespace silo::report

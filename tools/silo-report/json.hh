@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal JSON value + recursive-descent parser for silo-report.
+ *
+ * Standalone like silo-lint: tools must not depend on the simulator
+ * library, so this carries its own ~200-line reader instead of
+ * linking `silo`. It parses the documents the repo itself emits
+ * (BENCH_*.json selfperf files, silo-prof-v1 profiles) — strict JSON,
+ * no extensions — and keeps object members in document order so
+ * report tables list metrics in the order the emitter wrote them.
+ */
+
+#ifndef SILO_TOOLS_REPORT_JSON_HH
+#define SILO_TOOLS_REPORT_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace silo::report
+{
+
+/** One parsed JSON value; objects preserve member order. */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Members in document order; duplicate keys keep the first. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** String member @p key, or @p fallback when absent/mistyped. */
+    std::string strOr(const std::string &key,
+                      const std::string &fallback) const;
+
+    /** Number member @p key, or @p fallback when absent/mistyped. */
+    double numOr(const std::string &key, double fallback) const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @return true on success; on failure @p error describes the first
+ * syntax problem with a line number and @p out is unspecified.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+} // namespace silo::report
+
+#endif // SILO_TOOLS_REPORT_JSON_HH

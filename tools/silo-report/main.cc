@@ -1,0 +1,158 @@
+/**
+ * @file
+ * silo-report CLI: cross-run perf regression report.
+ *
+ * Usage:
+ *   silo-report [--top N] [--warn F] [--fail F] [--gate]
+ *               [--out PATH] FILE...
+ *
+ * FILEs are perf JSON documents the repo emits: BENCH_*.json selfperf
+ * trajectories (silo-selfperf-v1/-v2, compared oldest-first in the
+ * order given) and up to two silo-prof-v1 host-time profiles (written
+ * by runs with SILO_PROF set). The markdown report goes to stdout, or
+ * to PATH with --out.
+ *
+ * `--warn` / `--fail` are slowdown fractions for the first-vs-last
+ * trajectory verdicts (defaults 0.10 / 0.30: a metric is WARN below
+ * 0.90x of its first rate, FAIL below 0.70x). The
+ * SILO_PROF_THRESHOLDS environment variable ("warn,fail", e.g.
+ * "0.1,0.3") sets the same pair for CI jobs that cannot pass flags;
+ * explicit flags win over it.
+ *
+ * Exits 0 normally (including WARN verdicts), 1 when --gate is given
+ * and any metric verdict is FAIL, 2 on usage or input errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "silo-report/report.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--top N] [--warn F] [--fail F] [--gate]"
+                 " [--out PATH] FILE...\n",
+                 argv0);
+    return 2;
+}
+
+bool
+parseFraction(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0' && out >= 0 &&
+           out < 1.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    silo::report::ReportOptions opts;
+    bool gate = false;
+    std::string out_path;
+    std::vector<std::string> files;
+
+    std::string env_error;
+    if (!silo::report::thresholdsFromEnv(opts, env_error)) {
+        std::fprintf(stderr, "silo-report: %s\n", env_error.c_str());
+        return 2;
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            opts.top = std::atoi(argv[++i]);
+            if (opts.top < 1)
+                return usage(argv[0]);
+        } else if (arg == "--warn" && i + 1 < argc) {
+            if (!parseFraction(argv[++i], opts.warn))
+                return usage(argv[0]);
+        } else if (arg == "--fail" && i + 1 < argc) {
+            if (!parseFraction(argv[++i], opts.fail))
+                return usage(argv[0]);
+        } else if (arg == "--gate") {
+            gate = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty())
+        return usage(argv[0]);
+    if (opts.fail < opts.warn) {
+        std::fprintf(stderr,
+                     "silo-report: --fail (%.2f) must be >= --warn "
+                     "(%.2f)\n",
+                     opts.fail, opts.warn);
+        return 2;
+    }
+
+    std::vector<silo::report::InputDoc> docs;
+    for (const std::string &path : files) {
+        std::ifstream is(path);
+        if (!is) {
+            std::fprintf(stderr, "silo-report: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << is.rdbuf();
+        silo::report::InputDoc doc;
+        doc.path = path;
+        std::string error;
+        if (!silo::report::parseJson(text.str(), doc.doc, error)) {
+            std::fprintf(stderr, "silo-report: %s: %s\n", path.c_str(),
+                         error.c_str());
+            return 2;
+        }
+        docs.push_back(std::move(doc));
+    }
+
+    silo::report::ReportResult result =
+        silo::report::buildReport(docs, opts);
+    for (const std::string &error : result.errors)
+        std::fprintf(stderr, "silo-report: %s\n", error.c_str());
+    if (!result.errors.empty())
+        return 2;
+
+    if (out_path.empty() || out_path == "-") {
+        std::cout << result.markdown;
+    } else {
+        std::ofstream os(out_path, std::ios::trunc);
+        if (!os) {
+            std::fprintf(stderr, "silo-report: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        os << result.markdown;
+        std::fprintf(stderr, "silo-report: wrote %s\n",
+                     out_path.c_str());
+    }
+
+    if (gate && result.worst == silo::report::Verdict::Fail) {
+        std::fprintf(stderr,
+                     "silo-report: gate FAILED — at least one metric "
+                     "regressed past the fail threshold\n");
+        return 1;
+    }
+    return 0;
+}

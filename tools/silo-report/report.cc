@@ -1,0 +1,327 @@
+#include "silo-report/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace silo::report
+{
+
+namespace
+{
+
+/** Last path component, for compact table headers. */
+std::string
+baseName(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string
+fmt(const char *spec, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, spec, v);
+    return buf;
+}
+
+/** Rates: integral display above 1000, three decimals below. */
+std::string
+fmtRate(double v)
+{
+    return v >= 1000 ? fmt("%.0f", v) : fmt("%.3f", v);
+}
+
+Verdict
+judge(double ratio, const ReportOptions &opts)
+{
+    if (ratio < 1.0 - opts.fail)
+        return Verdict::Fail;
+    if (ratio < 1.0 - opts.warn)
+        return Verdict::Warn;
+    return Verdict::Ok;
+}
+
+/** One profile's domains (or phases), sorted by self time, desc. */
+struct ProfRow
+{
+    std::string name;
+    double selfSeconds = 0;
+    double totalSeconds = 0;
+    double count = 0;
+};
+
+std::vector<ProfRow>
+profRows(const JsonValue &doc, const char *section,
+         const char *count_key)
+{
+    std::vector<ProfRow> rows;
+    const JsonValue *obj = doc.find(section);
+    if (!obj || !obj->isObject())
+        return rows;
+    for (const auto &[name, v] : obj->object) {
+        ProfRow row;
+        row.name = name;
+        row.selfSeconds = v.numOr("self_seconds", 0);
+        row.totalSeconds = v.numOr("total_seconds", 0);
+        row.count = v.numOr(count_key, 0);
+        rows.push_back(std::move(row));
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const ProfRow &a, const ProfRow &b) {
+                         return a.selfSeconds > b.selfSeconds;
+                     });
+    return rows;
+}
+
+void
+renderProfile(std::string &md, const InputDoc &in,
+              const ReportOptions &opts)
+{
+    const JsonValue &doc = in.doc;
+    double wall = doc.numOr("wall_seconds", 0);
+    md += "## Host-time profile: " + baseName(in.path) + "\n\n";
+    md += "wall " + fmt("%.3f", wall) + " s, threads " +
+          fmt("%.0f", doc.numOr("threads", 0)) + ", domain coverage " +
+          fmt("%.1f", doc.numOr("coverage", 0) * 100) + "%\n\n";
+
+    md += "| domain | self s | share | dispatches |\n";
+    md += "|---|---:|---:|---:|\n";
+    auto rows = profRows(doc, "domains", "dispatches");
+    int shown = 0;
+    for (const ProfRow &row : rows) {
+        if (shown++ >= opts.top)
+            break;
+        double share = wall > 0 ? row.selfSeconds / wall : 0;
+        md += "| " + row.name + " | " + fmt("%.3f", row.selfSeconds) +
+              " | " + fmt("%.1f", share * 100) + "% | " +
+              fmt("%.0f", row.count) + " |\n";
+    }
+    if (int(rows.size()) > opts.top)
+        md += "\n(top " + std::to_string(opts.top) + " of " +
+              std::to_string(rows.size()) + " domains)\n";
+
+    md += "\n| phase | self s | total s | count |\n";
+    md += "|---|---:|---:|---:|\n";
+    for (const ProfRow &row : profRows(doc, "phases", "count")) {
+        md += "| " + row.name + " | " + fmt("%.3f", row.selfSeconds) +
+              " | " + fmt("%.3f", row.totalSeconds) + " | " +
+              fmt("%.0f", row.count) + " |\n";
+    }
+    md += "\n";
+}
+
+void
+renderProfileDelta(std::string &md, const InputDoc &a,
+                   const InputDoc &b)
+{
+    md += "## Profile comparison: " + baseName(a.path) + " vs " +
+          baseName(b.path) + "\n\n";
+    md += "| domain | self s (A) | self s (B) | B/A |\n";
+    md += "|---|---:|---:|---:|\n";
+    auto rows_a = profRows(a.doc, "domains", "dispatches");
+    for (const ProfRow &row : rows_a) {
+        const JsonValue *domains = b.doc.find("domains");
+        const JsonValue *other =
+            domains ? domains->find(row.name) : nullptr;
+        double self_b = other ? other->numOr("self_seconds", 0) : 0;
+        std::string ratio =
+            row.selfSeconds > 0 ? fmt("%.2f", self_b / row.selfSeconds)
+                                : "-";
+        md += "| " + row.name + " | " + fmt("%.3f", row.selfSeconds) +
+              " | " + fmt("%.3f", self_b) + " | " + ratio + " |\n";
+    }
+    md += "\n";
+}
+
+} // namespace
+
+bool
+parseThresholds(const std::string &text, ReportOptions &opts)
+{
+    auto fraction = [](const std::string &s, double &out) {
+        char *end = nullptr;
+        out = std::strtod(s.c_str(), &end);
+        return end != s.c_str() && *end == '\0' && out >= 0 &&
+               out < 1.0;
+    };
+    std::size_t comma = text.find(',');
+    double warn = 0, fail = 0;
+    if (comma == std::string::npos ||
+        !fraction(text.substr(0, comma), warn) ||
+        !fraction(text.substr(comma + 1), fail) || fail < warn)
+        return false;
+    opts.warn = warn;
+    opts.fail = fail;
+    return true;
+}
+
+bool
+thresholdsFromEnv(ReportOptions &opts, std::string &error)
+{
+    // tools/ sits outside the simulator's determinism boundary, so
+    // the plain getenv (not harness::envStrOr) is deliberate here.
+    const char *env = std::getenv("SILO_PROF_THRESHOLDS");
+    if (!env || !*env)
+        return true;
+    if (!parseThresholds(env, opts)) {
+        error = std::string("SILO_PROF_THRESHOLDS=\"") + env +
+                "\" is not \"warn,fail\" with 0 <= warn <= fail < 1";
+        return false;
+    }
+    return true;
+}
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Ok: return "ok";
+      case Verdict::Warn: return "warn";
+      case Verdict::Fail: return "FAIL";
+    }
+    return "?";
+}
+
+std::vector<std::pair<std::string, double>>
+selfperfMetrics(const JsonValue &doc)
+{
+    std::vector<std::pair<std::string, double>> metrics;
+    if (const JsonValue *matrix = doc.find("matrix")) {
+        double rate = matrix->numOr("cells_per_second", 0);
+        if (rate > 0)
+            metrics.emplace_back("matrix cells/s", rate);
+    }
+    const JsonValue *micro = doc.find("micro");
+    if (micro && micro->isObject()) {
+        for (const auto &[section, v] : micro->object) {
+            for (const auto &[key, member] : v.object) {
+                if (key.size() > 11 &&
+                    key.compare(key.size() - 11, 11, "_per_second") ==
+                        0 &&
+                    member.isNumber()) {
+                    metrics.emplace_back(section, member.number);
+                    break;
+                }
+            }
+        }
+    }
+    return metrics;
+}
+
+ReportResult
+buildReport(const std::vector<InputDoc> &docs,
+            const ReportOptions &opts)
+{
+    ReportResult result;
+    std::vector<const InputDoc *> trajectory;
+    std::vector<const InputDoc *> profiles;
+
+    for (const InputDoc &in : docs) {
+        std::string schema = in.doc.strOr("schema", "");
+        if (schema == "silo-selfperf-v1" ||
+            schema == "silo-selfperf-v2") {
+            trajectory.push_back(&in);
+        } else if (schema == "silo-prof-v1") {
+            profiles.push_back(&in);
+        } else {
+            result.errors.push_back(
+                in.path + ": unknown schema \"" + schema + "\"");
+        }
+    }
+    if (profiles.size() > 2)
+        result.errors.push_back(
+            "at most two silo-prof-v1 profiles can be compared (got " +
+            std::to_string(profiles.size()) + ")");
+    if (!result.errors.empty())
+        return result;
+
+    std::string &md = result.markdown;
+    md += "# silo-report\n\n";
+
+    if (!trajectory.empty()) {
+        // Union of metric names across the trajectory, in first-seen
+        // order, so a v1 -> v2 format change appends new micros
+        // instead of breaking old columns.
+        std::vector<std::string> names;
+        std::vector<std::vector<std::pair<std::string, double>>> all;
+        for (const InputDoc *in : trajectory) {
+            all.push_back(selfperfMetrics(in->doc));
+            for (const auto &[name, rate] : all.back()) {
+                if (std::find(names.begin(), names.end(), name) ==
+                    names.end())
+                    names.push_back(name);
+            }
+        }
+        auto rateOf = [&](std::size_t doc_idx,
+                          const std::string &name) -> double {
+            for (const auto &[n, rate] : all[doc_idx]) {
+                if (n == name)
+                    return rate;
+            }
+            return 0;
+        };
+
+        md += "## Perf trajectory (rates, higher is better)\n\n";
+        md += "| metric |";
+        for (const InputDoc *in : trajectory)
+            md += " " + baseName(in->path) + " |";
+        md += "\n|---|";
+        for (std::size_t i = 0; i < trajectory.size(); ++i)
+            md += "---:|";
+        md += "\n";
+        for (const std::string &name : names) {
+            md += "| " + name + " |";
+            for (std::size_t i = 0; i < trajectory.size(); ++i) {
+                double rate = rateOf(i, name);
+                md += rate > 0 ? " " + fmtRate(rate) + " |" : " - |";
+            }
+            md += "\n";
+        }
+        md += "\n";
+
+        if (trajectory.size() >= 2) {
+            std::size_t first = 0, last = trajectory.size() - 1;
+            md += "## Regression verdicts (" +
+                  baseName(trajectory[first]->path) + " vs " +
+                  baseName(trajectory[last]->path) + ")\n\n";
+            md += "| metric | first | last | ratio | verdict |\n";
+            md += "|---|---:|---:|---:|---|\n";
+            for (const std::string &name : names) {
+                double a = rateOf(first, name);
+                double b = rateOf(last, name);
+                if (a <= 0 || b <= 0)
+                    continue; // metric absent at one end: no verdict
+                MetricVerdict mv;
+                mv.metric = name;
+                mv.first = a;
+                mv.last = b;
+                mv.ratio = b / a;
+                mv.verdict = judge(mv.ratio, opts);
+                result.worst = std::max(result.worst, mv.verdict);
+                md += "| " + name + " | " + fmtRate(a) + " | " +
+                      fmtRate(b) + " | " + fmt("%.3f", mv.ratio) +
+                      " | " + verdictName(mv.verdict) + " |\n";
+                result.verdicts.push_back(std::move(mv));
+            }
+            md += "\nThresholds: warn below " +
+                  fmt("%.2f", 1.0 - opts.warn) + "x, fail below " +
+                  fmt("%.2f", 1.0 - opts.fail) + "x.\n\n";
+        } else {
+            md += "(one selfperf document: trajectory only, no "
+                  "verdicts)\n\n";
+        }
+    }
+
+    for (const InputDoc *in : profiles)
+        renderProfile(md, *in, opts);
+    if (profiles.size() == 2)
+        renderProfileDelta(md, *profiles[0], *profiles[1]);
+
+    if (trajectory.empty() && profiles.empty())
+        md += "(no recognized input documents)\n";
+    return result;
+}
+
+} // namespace silo::report

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * silo-report core: turn a set of perf JSON documents into a
+ * markdown regression report.
+ *
+ * Two document families, distinguished by their "schema" member:
+ *
+ *  - selfperf trajectories ("silo-selfperf-v1" / "-v2", the committed
+ *    BENCH_*.json files plus fresh runs): every matrix/micro rate is
+ *    tracked across the files in the order given, and the first vs
+ *    last file of each metric gets a verdict against configurable
+ *    slowdown thresholds;
+ *  - host-time profiles ("silo-prof-v1", written when SILO_PROF is
+ *    set): the top-N hot domains by self time, and — when exactly two
+ *    profiles are given — the per-domain ratio between them.
+ *
+ * The split from main.cc mirrors silo-lint: this core is a static
+ * library (silo_report_core) so tests/tools/silo_report_test.cc can
+ * drive classification, ratio math and verdicts directly on fixture
+ * documents without spawning the CLI.
+ */
+
+#ifndef SILO_TOOLS_REPORT_REPORT_HH
+#define SILO_TOOLS_REPORT_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "silo-report/json.hh"
+
+namespace silo::report
+{
+
+/** Regression thresholds and rendering knobs. */
+struct ReportOptions
+{
+    /**
+     * Slowdown fractions: a metric whose last/first rate ratio drops
+     * below 1-warn is WARN, below 1-fail is FAIL. Defaults catch a
+     * 1.5x slowdown (ratio 0.667 < 0.70) while tolerating 10% noise.
+     */
+    double warn = 0.10;
+    double fail = 0.30;
+    /** Hot-domain rows to show per profile. */
+    int top = 5;
+};
+
+enum class Verdict { Ok, Warn, Fail };
+
+/** Name of @p v as printed in tables ("ok", "warn", "FAIL"). */
+const char *verdictName(Verdict v);
+
+/** One input document, already parsed. */
+struct InputDoc
+{
+    std::string path;
+    JsonValue doc;
+};
+
+/** One metric's first-to-last trajectory comparison. */
+struct MetricVerdict
+{
+    std::string metric;
+    double first = 0;
+    double last = 0;
+    /** last/first; > 1 is a speedup. 0 when first is 0. */
+    double ratio = 0;
+    Verdict verdict = Verdict::Ok;
+};
+
+/** Full report: markdown plus the machine-readable gate outcome. */
+struct ReportResult
+{
+    std::string markdown;
+    /** Worst metric verdict; Ok when fewer than two selfperf docs. */
+    Verdict worst = Verdict::Ok;
+    std::vector<MetricVerdict> verdicts;
+    /** Fatal input problems (unknown schema, >2 profiles, ...). */
+    std::vector<std::string> errors;
+};
+
+/**
+ * Extract the named rates from one selfperf document:
+ * "matrix" (cells_per_second) plus every micro section's
+ * "*_per_second" member, in document order. Works for both the v1
+ * and v2 schemas, so trajectories can span the format change.
+ */
+std::vector<std::pair<std::string, double>>
+selfperfMetrics(const JsonValue &doc);
+
+/**
+ * Parse a "warn,fail" fraction pair (the format of the
+ * SILO_PROF_THRESHOLDS environment variable and the --warn/--fail
+ * flags) into @p opts. Requires 0 <= warn <= fail < 1.
+ */
+bool parseThresholds(const std::string &text, ReportOptions &opts);
+
+/**
+ * Apply $SILO_PROF_THRESHOLDS when set; leaves @p opts untouched when
+ * unset. @return false with @p error filled on a malformed value.
+ */
+bool thresholdsFromEnv(ReportOptions &opts, std::string &error);
+
+/** Classify, compare and render @p docs per the header comment. */
+ReportResult buildReport(const std::vector<InputDoc> &docs,
+                         const ReportOptions &opts);
+
+} // namespace silo::report
+
+#endif // SILO_TOOLS_REPORT_REPORT_HH
